@@ -1,0 +1,140 @@
+// Component microbenchmarks (google-benchmark): the substrate operations on
+// the request hot path. These measure real host performance of the library
+// pieces, independent of the simulation.
+
+#include <benchmark/benchmark.h>
+
+#include "src/base/histogram.h"
+#include "src/base/rng.h"
+#include "src/mem/memory_manager.h"
+#include "src/rdma/fabric.h"
+#include "src/sim/engine.h"
+#include "src/unithread/context.h"
+#include "src/unithread/universal_stack.h"
+
+namespace adios {
+namespace {
+
+void BM_HistogramAdd(benchmark::State& state) {
+  Histogram h;
+  Rng rng(1);
+  for (auto _ : state) {
+    h.Add(rng.NextBelow(1u << 20));
+  }
+}
+BENCHMARK(BM_HistogramAdd);
+
+void BM_HistogramPercentile(benchmark::State& state) {
+  Histogram h;
+  Rng rng(1);
+  for (int i = 0; i < 100000; ++i) {
+    h.Add(rng.NextBelow(1u << 20));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.Percentile(99.9));
+  }
+}
+BENCHMARK(BM_HistogramPercentile);
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Next());
+  }
+}
+BENCHMARK(BM_RngNext);
+
+void BM_ZipfNext(benchmark::State& state) {
+  ZipfGenerator z(1u << 20, 0.99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(z.Next());
+  }
+}
+BENCHMARK(BM_ZipfNext);
+
+void BM_ContextSwitchPair(benchmark::State& state) {
+  struct Rig {
+    UnithreadContext main_ctx;
+    UnithreadContext thread_ctx;
+    std::vector<std::byte> stack = std::vector<std::byte>(64 * 1024);
+  } rig;
+  rig.thread_ctx.Reset(
+      rig.stack.data(), rig.stack.size(),
+      [](void* arg) {
+        auto* r = static_cast<Rig*>(arg);
+        for (;;) {
+          AdiosContextSwitch(&r->thread_ctx, &r->main_ctx);
+        }
+      },
+      &rig, &rig.main_ctx);
+  for (auto _ : state) {
+    AdiosContextSwitch(&rig.main_ctx, &rig.thread_ctx);
+  }
+}
+BENCHMARK(BM_ContextSwitchPair);
+
+void BM_UnithreadPoolAcquireRelease(benchmark::State& state) {
+  UnithreadPool::Options opts;
+  opts.count = 1024;
+  opts.buffer_size = 16384;
+  opts.mtu = 1536;
+  UnithreadPool pool(opts);
+  for (auto _ : state) {
+    UnithreadBuffer b = pool.Acquire();
+    benchmark::DoNotOptimize(b.context());
+    pool.Release(b);
+  }
+}
+BENCHMARK(BM_UnithreadPoolAcquireRelease);
+
+void BM_EngineScheduleDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Engine e;
+    for (int i = 0; i < 1000; ++i) {
+      e.Schedule(static_cast<SimDuration>(i), [] {});
+    }
+    state.ResumeTiming();
+    e.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineScheduleDispatch);
+
+void BM_PageTableFaultCycle(benchmark::State& state) {
+  Engine e;
+  MemoryManager::Options o;
+  o.total_pages = 1u << 16;
+  o.local_pages = 1u << 14;
+  MemoryManager mm(&e, o);
+  uint64_t p = 0;
+  for (auto _ : state) {
+    mm.BeginFetch(p);
+    mm.CompleteFetch(p);
+    mm.EvictPage(p);
+    p = (p + 1) % o.total_pages;
+  }
+}
+BENCHMARK(BM_PageTableFaultCycle);
+
+void BM_FabricReadPipeline(benchmark::State& state) {
+  // Full simulated fetch pipeline cost (host time per simulated READ).
+  for (auto _ : state) {
+    state.PauseTiming();
+    Engine e;
+    RdmaFabric fabric(&e, FabricParams{});
+    QueuePair* qp = fabric.CreateQp(fabric.CreateCq());
+    state.ResumeTiming();
+    for (int i = 0; i < 64; ++i) {
+      qp->PostRead(4096, static_cast<uint64_t>(i));
+    }
+    e.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_FabricReadPipeline);
+
+}  // namespace
+}  // namespace adios
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Worker-count scalability of the single-queue MD scheduler (paper §6:
+// "single queueing with a dedicated dispatcher thread can scale up to about
+// ten worker cores").
+//
+// Sweeps the number of workers under overdrive load and reports achieved
+// throughput plus dispatcher utilization: throughput grows with workers
+// until the dispatcher (or the NIC) saturates.
+
+#include "bench/bench_util.h"
+#include "src/apps/array_app.h"
+
+namespace adios {
+namespace {
+
+void Run() {
+  const BenchTiming timing = DefaultTiming();
+  ArrayApp::Options wl;
+  wl.entries = EnvU64("ADIOS_BENCH_ARRAY_ENTRIES", 1ull << 20);
+
+  std::vector<uint32_t> worker_counts = {1, 2, 4, 6, 8, 10, 12, 14, 16};
+  if (BenchQuickMode()) {
+    worker_counts = {2, 8, 16};
+  }
+
+  PrintHeader("Scalability (paper §6)",
+              "Adios throughput vs worker count, single dispatcher (400 Gb/s-class NIC)");
+  std::printf("(on the testbed's 100 GbE NIC the fabric saturates before the dispatcher;\n"
+              " §5.2 points to 200/400 Gbps RNICs, which expose §6's dispatcher limit)\n");
+  TablePrinter table({"workers", "tput(K)", "tput/worker(K)", "disp-util", "rdma-util",
+                      "P99.9(us)@80%"});
+  for (uint32_t n : worker_counts) {
+    SystemConfig cfg = SystemConfig::Adios();
+    cfg.num_workers = n;
+    cfg.fabric.link_gbps = 400.0;   // ConnectX-7-class (§5.2 outlook).
+    cfg.fabric.wqe_process_ns = 60;
+
+    // Peak: overdrive well beyond any capacity.
+    ArrayApp app1(wl);
+    MdSystem peak_sys(cfg, &app1);
+    RunResult peak = peak_sys.Run(4.2e6 + 0.6e6 * n, timing.warmup, timing.measure);
+
+    // Tail at 80% of the measured peak.
+    ArrayApp app2(wl);
+    MdSystem probe_sys(cfg, &app2);
+    RunResult probe = probe_sys.Run(0.8 * peak.throughput_rps, timing.warmup, timing.measure);
+
+    table.AddRow({StrFormat("%u", n), Krps(peak.throughput_rps),
+                  Krps(peak.throughput_rps / n), Pct(peak.dispatcher_utilization),
+                  Pct(peak.rdma_utilization), Us(probe.e2e.P999())});
+  }
+  table.Print();
+  std::printf("(throughput per worker collapses once the shared dispatcher or NIC binds)\n");
+}
+
+}  // namespace
+}  // namespace adios
+
+int main() {
+  adios::Run();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Every figure bench sweeps offered load (or a config axis) and prints the
+// paper's series as aligned text tables. ADIOS_BENCH_QUICK=1 shrinks sweeps
+// for smoke runs.
+
+#ifndef ADIOS_BENCH_BENCH_UTIL_H_
+#define ADIOS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/base/env.h"
+#include "src/base/table_printer.h"
+#include "src/core/md_system.h"
+
+namespace adios {
+
+struct BenchTiming {
+  SimDuration warmup = Milliseconds(8);
+  SimDuration measure = Milliseconds(25);
+};
+
+inline BenchTiming DefaultTiming() {
+  BenchTiming t;
+  if (BenchQuickMode()) {
+    t.warmup = Milliseconds(4);
+    t.measure = Milliseconds(10);
+  }
+  return t;
+}
+
+// Thins a load sweep in quick mode (keeps first/last and every other point).
+inline std::vector<double> MaybeThin(std::vector<double> loads) {
+  if (!BenchQuickMode() || loads.size() <= 4) {
+    return loads;
+  }
+  std::vector<double> out;
+  for (size_t i = 0; i < loads.size(); ++i) {
+    if (i % 2 == 0 || i + 1 == loads.size()) {
+      out.push_back(loads[i]);
+    }
+  }
+  return out;
+}
+
+inline std::string Us(uint64_t ns) { return StrFormat("%.2f", static_cast<double>(ns) / 1000.0); }
+inline std::string Krps(double rps) { return StrFormat("%.0f", rps / 1000.0); }
+inline std::string Pct(double frac) { return StrFormat("%.1f%%", frac * 100.0); }
+
+inline void PrintHeader(const char* figure, const char* what) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", figure, what);
+  std::printf("================================================================\n");
+}
+
+inline void PrintBreakdown(const char* label, const RunResult& r,
+                           const std::vector<double>& percentiles) {
+  std::printf("\n%s latency breakdown (server-side, us):\n", label);
+  TablePrinter t({"pctile", "total", "queue", "handling", "rdma", "busy-wait", "tx-wait"});
+  for (const auto& row : r.Breakdown(percentiles)) {
+    t.AddRow({StrFormat("P%g", row.percentile), Us(row.total_ns), Us(row.queue_ns),
+              Us(row.handle_ns - row.rdma_ns - row.tx_wait_ns), Us(row.rdma_ns),
+              Us(row.busy_wait_ns), Us(row.tx_wait_ns)});
+  }
+  t.Print();
+}
+
+}  // namespace adios
+
+#endif  // ADIOS_BENCH_BENCH_UTIL_H_

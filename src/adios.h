@@ -1,0 +1,33 @@
+// Umbrella header for the Adios memory-disaggregation library.
+//
+// Pulls in the full public API: system presets and assembly (core), the
+// workload interface and bundled applications (apps), the unithread library,
+// and the simulation substrate. Examples and downstream users can include
+// just this header.
+
+#ifndef ADIOS_SRC_ADIOS_H_
+#define ADIOS_SRC_ADIOS_H_
+
+// Core: configuration presets, system assembly, results.
+#include "src/core/md_system.h"      // IWYU pragma: export
+#include "src/core/run_result.h"     // IWYU pragma: export
+#include "src/core/system_config.h"  // IWYU pragma: export
+
+// Applications.
+#include "src/apps/application.h"    // IWYU pragma: export
+#include "src/apps/array_app.h"      // IWYU pragma: export
+#include "src/apps/faiss_app.h"      // IWYU pragma: export
+#include "src/apps/memcached_app.h"  // IWYU pragma: export
+#include "src/apps/rocksdb_app.h"    // IWYU pragma: export
+#include "src/apps/silo_app.h"       // IWYU pragma: export
+
+// Unithread library (usable standalone).
+#include "src/unithread/context.h"                // IWYU pragma: export
+#include "src/unithread/cooperative_scheduler.h"  // IWYU pragma: export
+#include "src/unithread/universal_stack.h"        // IWYU pragma: export
+
+// Simulation substrate (for custom experiments).
+#include "src/sim/engine.h"   // IWYU pragma: export
+#include "src/sim/trace.h"    // IWYU pragma: export
+
+#endif  // ADIOS_SRC_ADIOS_H_

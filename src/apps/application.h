@@ -1,0 +1,51 @@
+// Application interface: a workload that runs on the MD system.
+//
+// Applications build real data structures in the remote heap during Setup()
+// (host-time, no fault charges), generate operations for the load generator
+// with FillRequest(), and service them in Handle() running on a unithread —
+// every remote access in Handle() goes through WorkerApi and can fault.
+
+#ifndef ADIOS_SRC_APPS_APPLICATION_H_
+#define ADIOS_SRC_APPS_APPLICATION_H_
+
+#include <cstdint>
+
+#include "src/base/rng.h"
+#include "src/mem/remote_heap.h"
+#include "src/sched/request.h"
+#include "src/sched/worker_api.h"
+
+namespace adios {
+
+class Application {
+ public:
+  virtual ~Application() = default;
+
+  virtual const char* name() const = 0;
+
+  // Remote-region bytes this app needs (data structures + slack).
+  virtual uint64_t WorkingSetBytes() const = 0;
+
+  // Builds the app's data structures in the remote heap. Runs at time zero
+  // on the host; writes do not fault (the paper's systems load data before
+  // measurement too).
+  virtual void Setup(RemoteHeap& heap) = 0;
+
+  // Fills one client operation (op/key/sizes) into `req`.
+  virtual void FillRequest(Rng& rng, Request* req) = 0;
+
+  // Services the request. Runs on a unithread; remote accesses fault.
+  virtual void Handle(Request* req, WorkerApi& api) = 0;
+
+  // Operation-type metadata, for per-op latency reporting (GET vs SCAN...).
+  virtual uint32_t NumOpTypes() const { return 1; }
+  virtual const char* OpName(uint32_t op) const { return "op"; }
+
+  // Validates a completed request's result (spot-checked by the load
+  // generator); return false to fail the run.
+  virtual bool Verify(const Request& req) const { return true; }
+};
+
+}  // namespace adios
+
+#endif  // ADIOS_SRC_APPS_APPLICATION_H_

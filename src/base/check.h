@@ -1,0 +1,37 @@
+// Lightweight assertion macros for invariant checking.
+//
+// ADIOS_CHECK(cond) aborts with a message when `cond` is false, in all build
+// types. ADIOS_DCHECK(cond) compiles out in NDEBUG builds. Both are intended
+// for programmer errors (broken invariants), not for recoverable conditions.
+
+#ifndef ADIOS_SRC_BASE_CHECK_H_
+#define ADIOS_SRC_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace adios {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "ADIOS_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace adios
+
+#define ADIOS_CHECK(cond)                                 \
+  do {                                                    \
+    if (!(cond)) {                                        \
+      ::adios::CheckFailed(#cond, __FILE__, __LINE__);    \
+    }                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define ADIOS_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define ADIOS_DCHECK(cond) ADIOS_CHECK(cond)
+#endif
+
+#endif  // ADIOS_SRC_BASE_CHECK_H_

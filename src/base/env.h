@@ -1,0 +1,45 @@
+// Environment-variable configuration helpers for benchmarks and examples.
+//
+// Benchmarks honor ADIOS_BENCH_QUICK=1 (shorter sweeps) and a few sizing
+// overrides; these helpers centralize the parsing.
+
+#ifndef ADIOS_SRC_BASE_ENV_H_
+#define ADIOS_SRC_BASE_ENV_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace adios {
+
+inline uint64_t EnvU64(const char* name, uint64_t default_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return default_value;
+  }
+  return std::strtoull(v, nullptr, 0);
+}
+
+inline double EnvDouble(const char* name, double default_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return default_value;
+  }
+  return std::strtod(v, nullptr);
+}
+
+inline bool EnvBool(const char* name, bool default_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return default_value;
+  }
+  const std::string s(v);
+  return s == "1" || s == "true" || s == "yes" || s == "on";
+}
+
+// True when benchmarks should run abbreviated sweeps.
+inline bool BenchQuickMode() { return EnvBool("ADIOS_BENCH_QUICK", false); }
+
+}  // namespace adios
+
+#endif  // ADIOS_SRC_BASE_ENV_H_

@@ -1,0 +1,119 @@
+#include "src/base/histogram.h"
+
+#include <bit>
+#include <cmath>
+
+#include "src/base/check.h"
+
+namespace adios {
+
+Histogram::Histogram() : buckets_(128 + kOctaves * kSubBuckets, 0) {}
+
+int Histogram::BucketIndex(uint64_t value) {
+  if (value < 2 * kSubBuckets) {
+    return static_cast<int>(value);
+  }
+  const int e = 63 - std::countl_zero(value);  // 2^e <= value < 2^(e+1), e >= 7.
+  const int shift = e - kSubBucketBits;
+  const int sub = static_cast<int>(value >> shift);  // In [64, 128).
+  return 2 * kSubBuckets + (e - (kSubBucketBits + 1)) * kSubBuckets + (sub - kSubBuckets);
+}
+
+uint64_t Histogram::BucketUpperBound(int index) {
+  if (index < 2 * kSubBuckets) {
+    return static_cast<uint64_t>(index);
+  }
+  const int j = index - 2 * kSubBuckets;
+  const int octave = j / kSubBuckets;
+  const int sub = j % kSubBuckets;
+  const int e = octave + kSubBucketBits + 1;
+  const int shift = e - kSubBucketBits;
+  return ((static_cast<uint64_t>(kSubBuckets + sub) + 1) << shift) - 1;
+}
+
+void Histogram::Add(uint64_t value) {
+  const int idx = BucketIndex(value);
+  ADIOS_DCHECK(idx >= 0 && idx < static_cast<int>(buckets_.size()));
+  ++buckets_[idx];
+  ++count_;
+  sum_ += value;
+  if (value < min_) {
+    min_ = value;
+  }
+  if (value > max_) {
+    max_ = value;
+  }
+}
+
+void Histogram::Merge(const Histogram& other) {
+  ADIOS_CHECK(buckets_.size() == other.buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.count_ > 0) {
+    if (other.min_ < min_) {
+      min_ = other.min_;
+    }
+    if (other.max_ > max_) {
+      max_ = other.max_;
+    }
+  }
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0u);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ull;
+  max_ = 0;
+}
+
+double Histogram::Mean() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  if (p <= 0.0) {
+    return min();
+  }
+  const uint64_t target =
+      static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_)));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= target) {
+      // Never report beyond the recorded maximum (the last bucket's bound
+      // may exceed it).
+      const uint64_t bound = BucketUpperBound(static_cast<int>(i));
+      return bound > max_ ? max_ : bound;
+    }
+  }
+  return max_;
+}
+
+std::vector<std::pair<uint64_t, double>> Histogram::Cdf() const {
+  std::vector<std::pair<uint64_t, double>> out;
+  if (count_ == 0) {
+    return out;
+  }
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    cumulative += buckets_[i];
+    out.emplace_back(BucketUpperBound(static_cast<int>(i)),
+                     static_cast<double>(cumulative) / static_cast<double>(count_));
+  }
+  return out;
+}
+
+}  // namespace adios

@@ -1,0 +1,59 @@
+// Log-bucketed latency histogram with percentile queries (HDR-histogram style).
+//
+// Values are recorded with a guaranteed relative error of < 1/64 (~1.6%):
+// each power-of-two octave above 2^6 is split into 64 linear sub-buckets.
+// Suitable for nanosecond latencies from ~1 ns to ~2^62 ns.
+
+#ifndef ADIOS_SRC_BASE_HISTOGRAM_H_
+#define ADIOS_SRC_BASE_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace adios {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(uint64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+
+  // Returns the smallest recorded-bucket upper bound v such that at least
+  // `p` (in [0, 100]) percent of recorded values are <= v. P0 returns min().
+  uint64_t Percentile(double p) const;
+
+  // Convenience accessors matching the paper's notation.
+  uint64_t P50() const { return Percentile(50.0); }
+  uint64_t P99() const { return Percentile(99.0); }
+  uint64_t P999() const { return Percentile(99.9); }
+
+  // Cumulative distribution sample points: (value, cumulative fraction) for
+  // every non-empty bucket, for CDF plots (Fig. 2(b)).
+  std::vector<std::pair<uint64_t, double>> Cdf() const;
+
+ private:
+  static constexpr int kSubBucketBits = 6;  // 64 sub-buckets per octave.
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  // Bucket 0 covers [0, 2*kSubBuckets) linearly; each later octave doubles.
+  static constexpr int kOctaves = 57;
+
+  static int BucketIndex(uint64_t value);
+  static uint64_t BucketUpperBound(int index);
+
+  std::vector<uint32_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = ~0ull;
+  uint64_t max_ = 0;
+};
+
+}  // namespace adios
+
+#endif  // ADIOS_SRC_BASE_HISTOGRAM_H_

@@ -1,0 +1,64 @@
+// Fixed-capacity FIFO ring buffer.
+//
+// Models hardware rings (NIC RX/TX rings, QP send queues) where overflow
+// means drop: PushBack fails when full instead of growing. The simulation is
+// single-threaded, so no synchronization is needed.
+
+#ifndef ADIOS_SRC_BASE_RING_BUFFER_H_
+#define ADIOS_SRC_BASE_RING_BUFFER_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/base/check.h"
+
+namespace adios {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(size_t capacity) : slots_(capacity) { ADIOS_CHECK(capacity > 0); }
+
+  size_t capacity() const { return slots_.size(); }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == slots_.size(); }
+
+  // Returns false (and drops the value) when the ring is full.
+  bool PushBack(T value) {
+    if (full()) {
+      return false;
+    }
+    slots_[(head_ + size_) % slots_.size()] = std::move(value);
+    ++size_;
+    return true;
+  }
+
+  T PopFront() {
+    ADIOS_CHECK(!empty());
+    T value = std::move(slots_[head_]);
+    head_ = (head_ + 1) % slots_.size();
+    --size_;
+    return value;
+  }
+
+  const T& Front() const {
+    ADIOS_CHECK(!empty());
+    return slots_[head_];
+  }
+
+  void Clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> slots_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace adios
+
+#endif  // ADIOS_SRC_BASE_RING_BUFFER_H_

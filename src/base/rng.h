@@ -1,0 +1,153 @@
+// Deterministic pseudo-random number generation and workload distributions.
+//
+// The simulator must be reproducible: all randomness flows through explicitly
+// seeded generators. Xoshiro256** is used instead of std::mt19937 for speed
+// and a compact, well-understood state.
+
+#ifndef ADIOS_SRC_BASE_RNG_H_
+#define ADIOS_SRC_BASE_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/base/check.h"
+
+namespace adios {
+
+// SplitMix64: used to expand a single seed into generator state.
+inline uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// Xoshiro256** by Blackman & Vigna. Fast, 256-bit state, passes BigCrush.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed) {
+    uint64_t sm = seed;
+    for (auto& w : s_) {
+      w = SplitMix64(sm);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). Unbiased enough for workload generation.
+  uint64_t NextBelow(uint64_t bound) {
+    ADIOS_DCHECK(bound > 0);
+    return static_cast<uint64_t>(NextDouble() * static_cast<double>(bound)) % bound;
+  }
+
+  // Uniform in [lo, hi].
+  uint64_t NextInRange(uint64_t lo, uint64_t hi) {
+    ADIOS_DCHECK(lo <= hi);
+    return lo + NextBelow(hi - lo + 1);
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // True with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  // Exponentially distributed with the given mean (for Poisson arrivals).
+  double NextExponential(double mean) {
+    double u = NextDouble();
+    // Guard against log(0).
+    if (u <= 0.0) {
+      u = 0x1.0p-53;
+    }
+    return -mean * std::log(u);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+// Zipf-distributed integer generator over [0, n) with parameter `theta`
+// (0 = uniform; 0.99 = YCSB-style skew). Uses the rejection-free inverse
+// method of Gray et al. ("Quickly generating billion-record synthetic
+// databases"), O(1) per sample after O(1) setup.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed = 0x21f)
+      : n_(n), theta_(theta), rng_(seed) {
+    ADIOS_CHECK(n >= 1);
+    ADIOS_CHECK(theta >= 0.0 && theta < 1.0);
+    alpha_ = 1.0 / (1.0 - theta_);
+    zetan_ = Zeta(n_, theta_);
+    const double zeta2 = Zeta(2, theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) / (1.0 - zeta2 / zetan_);
+  }
+
+  uint64_t Next() {
+    if (theta_ == 0.0) {
+      return rng_.NextBelow(n_);
+    }
+    const double u = rng_.NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) {
+      return 0;
+    }
+    if (uz < 1.0 + std::pow(0.5, theta_)) {
+      return 1;
+    }
+    const double v = static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_);
+    uint64_t k = static_cast<uint64_t>(v);
+    if (k >= n_) {
+      k = n_ - 1;
+    }
+    return k;
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0.0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Rng rng_;
+};
+
+// A random permutation-based shuffler, used to lay out app data structures
+// with deterministic but unordered placement.
+inline std::vector<uint32_t> RandomPermutation(uint32_t n, uint64_t seed) {
+  std::vector<uint32_t> p(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    p[i] = i;
+  }
+  Rng rng(seed);
+  for (uint32_t i = n; i > 1; --i) {
+    const uint32_t j = static_cast<uint32_t>(rng.NextBelow(i));
+    std::swap(p[i - 1], p[j]);
+  }
+  return p;
+}
+
+}  // namespace adios
+
+#endif  // ADIOS_SRC_BASE_RNG_H_

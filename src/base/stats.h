@@ -1,0 +1,76 @@
+// Streaming statistics accumulators.
+
+#ifndef ADIOS_SRC_BASE_STATS_H_
+#define ADIOS_SRC_BASE_STATS_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace adios {
+
+// Welford's online mean/variance.
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || n_ == 1) {
+      min_ = x;
+    }
+    if (x > max_ || n_ == 1) {
+      max_ = x;
+    }
+  }
+
+  uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+
+  double Variance() const { return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1); }
+  double StdDev() const { return std::sqrt(Variance()); }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Byte/op counter with utilization helpers, used for link accounting.
+class ThroughputCounter {
+ public:
+  void AddBytes(uint64_t bytes) {
+    bytes_ += bytes;
+    ++ops_;
+  }
+
+  uint64_t bytes() const { return bytes_; }
+  uint64_t ops() const { return ops_; }
+
+  // Utilization of a `bits_per_second` link over `elapsed_ns`, in [0, 1+].
+  double Utilization(uint64_t elapsed_ns, double bits_per_second) const {
+    if (elapsed_ns == 0 || bits_per_second <= 0.0) {
+      return 0.0;
+    }
+    const double bits = static_cast<double>(bytes_) * 8.0;
+    const double seconds = static_cast<double>(elapsed_ns) * 1e-9;
+    return bits / (bits_per_second * seconds);
+  }
+
+  void Reset() {
+    bytes_ = 0;
+    ops_ = 0;
+  }
+
+ private:
+  uint64_t bytes_ = 0;
+  uint64_t ops_ = 0;
+};
+
+}  // namespace adios
+
+#endif  // ADIOS_SRC_BASE_STATS_H_

@@ -1,0 +1,110 @@
+// Aligned text-table output for benchmark harnesses.
+//
+// The figure/table benches print the paper's series as plain-text tables so
+// the shapes can be compared directly against the paper's plots.
+
+#ifndef ADIOS_SRC_BASE_TABLE_PRINTER_H_
+#define ADIOS_SRC_BASE_TABLE_PRINTER_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace adios {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    widths_.resize(headers_.size());
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      widths_[i] = headers_[i].size();
+    }
+  }
+
+  void AddRow(std::vector<std::string> cells) {
+    cells.resize(headers_.size());
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (cells[i].size() > widths_[i]) {
+        widths_[i] = cells[i].size();
+      }
+    }
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print(std::FILE* out = stdout) const {
+    PrintRow(out, headers_);
+    std::string rule;
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      rule.append(widths_[i] + 2, '-');
+    }
+    std::fprintf(out, "%s\n", rule.c_str());
+    for (const auto& row : rows_) {
+      PrintRow(out, row);
+    }
+    std::fflush(out);
+    MaybeDumpCsv();
+  }
+
+  // Writes the table as CSV (quotes cells containing commas).
+  void WriteCsv(std::FILE* out) const {
+    PrintCsvRow(out, headers_);
+    for (const auto& row : rows_) {
+      PrintCsvRow(out, row);
+    }
+  }
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  void PrintRow(std::FILE* out, const std::vector<std::string>& cells) const {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      std::fprintf(out, "%-*s  ", static_cast<int>(widths_[i]), cells[i].c_str());
+    }
+    std::fprintf(out, "\n");
+  }
+
+  static void PrintCsvRow(std::FILE* out, const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const bool quote = cells[i].find(',') != std::string::npos;
+      std::fprintf(out, "%s%s%s%s", quote ? "\"" : "", cells[i].c_str(), quote ? "\"" : "",
+                   i + 1 == cells.size() ? "\n" : ",");
+    }
+  }
+
+  // When ADIOS_BENCH_CSV_DIR is set, every printed table is also written to
+  // <dir>/table_NNN.csv so the figures can be re-plotted downstream.
+  void MaybeDumpCsv() const {
+    const char* dir = std::getenv("ADIOS_BENCH_CSV_DIR");
+    if (dir == nullptr || *dir == '\0') {
+      return;
+    }
+    static int counter = 0;
+    char path[512];
+    std::snprintf(path, sizeof(path), "%s/table_%03d.csv", dir, counter++);
+    std::FILE* f = std::fopen(path, "w");
+    if (f != nullptr) {
+      WriteCsv(f);
+      std::fclose(f);
+    }
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<size_t> widths_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// printf-style helper producing std::string cells.
+inline std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  char buf[256];
+  vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return std::string(buf);
+}
+
+}  // namespace adios
+
+#endif  // ADIOS_SRC_BASE_TABLE_PRINTER_H_

@@ -1,0 +1,31 @@
+#include "src/base/tsc.h"
+
+#include <ctime>
+
+namespace adios {
+
+namespace {
+
+uint64_t MonotonicNanos() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull + static_cast<uint64_t>(ts.tv_nsec);
+}
+
+}  // namespace
+
+double MeasureTscGhz() {
+  const uint64_t t0 = MonotonicNanos();
+  const uint64_t c0 = TscFenced();
+  // Spin for ~20 ms; long enough to average out clock noise, short enough for tests.
+  while (MonotonicNanos() - t0 < 20 * 1000 * 1000) {
+  }
+  const uint64_t c1 = TscFenced();
+  const uint64_t t1 = MonotonicNanos();
+  if (t1 == t0) {
+    return 1.0;
+  }
+  return static_cast<double>(c1 - c0) / static_cast<double>(t1 - t0);
+}
+
+}  // namespace adios

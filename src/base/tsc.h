@@ -1,0 +1,41 @@
+// Real (wall-clock) timestamp-counter helpers for the hardware microbenchmarks
+// (Table 1 reproduces real context-switch cycle counts, not simulated ones).
+
+#ifndef ADIOS_SRC_BASE_TSC_H_
+#define ADIOS_SRC_BASE_TSC_H_
+
+#include <cstdint>
+
+#if defined(__x86_64__)
+#include <x86intrin.h>
+#endif
+
+namespace adios {
+
+// Reads the time-stamp counter. Not serializing; use TscFenced() around
+// measured regions when exact boundaries matter.
+inline uint64_t Tsc() {
+#if defined(__x86_64__)
+  return __rdtsc();
+#else
+  return 0;
+#endif
+}
+
+// rdtscp: waits for prior instructions to retire before reading the counter.
+inline uint64_t TscFenced() {
+#if defined(__x86_64__)
+  unsigned int aux;
+  return __rdtscp(&aux);
+#else
+  return 0;
+#endif
+}
+
+// Measures the TSC frequency in GHz by comparing against the monotonic clock.
+// Used only to report cycle counts in human units; accuracy of ~1% is fine.
+double MeasureTscGhz();
+
+}  // namespace adios
+
+#endif  // ADIOS_SRC_BASE_TSC_H_

@@ -1,0 +1,261 @@
+#include "src/core/md_system.h"
+
+#include <algorithm>
+
+#include "src/base/stats.h"
+
+namespace adios {
+
+MdSystem::MdSystem(const SystemConfig& config, Application* app) : config_(config), app_(app) {
+  // --- Memory node + remote working set ---
+  uint64_t ws_bytes = app->WorkingSetBytes();
+  ws_bytes = (ws_bytes + kPageSize - 1) / kPageSize * kPageSize;
+  region_ = std::make_unique<RemoteRegion>(ws_bytes);
+  heap_ = std::make_unique<RemoteHeap>(region_.get());
+  app->Setup(*heap_);
+
+  // --- Paging ---
+  MemoryManager::Options mm_opts;
+  mm_opts.page_shift = config_.page_shift;
+  const uint64_t page_bytes = 1ull << config_.page_shift;
+  mm_opts.total_pages = (region_->size() + page_bytes - 1) / page_bytes;
+  if (config_.local_pages_override != 0) {
+    mm_opts.local_pages = config_.local_pages_override;
+  } else if (config_.local_memory_ratio >= 1.0) {
+    // "Unlimited" local memory (Fig. 8's 100% point): the testbed machines
+    // have far more DRAM than the working set, so the reclaim watermark
+    // never binds. Give the cache enough headroom to make that true here.
+    mm_opts.local_pages = mm_opts.total_pages * 5 / 4 + 64;
+  } else {
+    mm_opts.local_pages = std::max<uint64_t>(
+        1, static_cast<uint64_t>(config_.local_memory_ratio *
+                                 static_cast<double>(mm_opts.total_pages)));
+  }
+  mm_opts.reclaim_low_watermark = config_.reclaim_low_watermark;
+  mm_opts.reclaim_high_watermark = config_.reclaim_high_watermark;
+  mm_ = std::make_unique<MemoryManager>(&engine_, mm_opts);
+
+  // --- Fabric ---
+  // Provisioning invariant from the paper's testbed: outstanding page
+  // fetches (workers x QP depth) must stay well below the frame budget —
+  // 8 GB of local DRAM vs <=1K outstanding there. Scaled-down working sets
+  // would otherwise let in-flight fetches pin every frame and wedge paging,
+  // so the QP depth is clamped to half the frames per worker.
+  FabricParams fabric_params = config_.fabric;
+  const uint64_t safe_depth =
+      std::max<uint64_t>(1, mm_opts.local_pages / (2 * std::max(1u, config_.num_workers)));
+  if (safe_depth < fabric_params.qp_depth) {
+    fabric_params.qp_depth = static_cast<uint32_t>(safe_depth);
+  }
+  fabric_ = std::make_unique<RdmaFabric>(&engine_, fabric_params);
+
+  // --- Cores ---
+  dispatcher_core_ = std::make_unique<CpuCore>(&engine_, config_.clock, "dispatcher");
+  reclaimer_core_ = std::make_unique<CpuCore>(&engine_, config_.clock, "reclaimer");
+  for (uint32_t i = 0; i < config_.num_workers; ++i) {
+    worker_cores_.push_back(
+        std::make_unique<CpuCore>(&engine_, config_.clock, "worker-" + std::to_string(i)));
+  }
+
+  // --- Buffers & CQs/QPs ---
+  pool_ = std::make_unique<UnithreadPool>(config_.pool);
+  CompletionQueue* dispatcher_cq = fabric_->CreateCq();
+
+  reply_sink_ = [](Request*) { ADIOS_CHECK(false); };  // Bound in Run().
+  drop_sink_ = [](Request*) { ADIOS_CHECK(false); };
+
+  Worker::HandlerFn handler = [app](Request* req, WorkerApi& api) { app->Handle(req, api); };
+  Worker::ReplyFn on_reply = [this](Request* req) { reply_sink_(req); };
+
+  std::vector<Worker*> worker_ptrs;
+  for (uint32_t i = 0; i < config_.num_workers; ++i) {
+    CompletionQueue* mem_cq = fabric_->CreateCq();
+    QueuePair* mem_qp = fabric_->CreateQp(mem_cq);
+    // Polling delegation steers the client QP's completions to the
+    // dispatcher's CQ; otherwise the worker polls its own client CQ.
+    CompletionQueue* client_cq =
+        config_.sched.polling_delegation ? dispatcher_cq : fabric_->CreateCq();
+    QueuePair* client_qp = fabric_->CreateQp(client_cq);
+    SchedConfig wcfg = config_.sched;
+    wcfg.seed = config_.seed;
+    auto worker = std::make_unique<Worker>(i, &engine_, worker_cores_[i].get(), mm_.get(),
+                                           pool_.get(), mem_qp, client_qp, wcfg, handler,
+                                           on_reply);
+    worker->set_region(region_.get());
+    worker_ptrs.push_back(worker.get());
+    workers_.push_back(std::move(worker));
+  }
+
+  dispatcher_ = std::make_unique<Dispatcher>(&engine_, dispatcher_core_.get(), pool_.get(),
+                                             dispatcher_cq, worker_ptrs, config_.sched,
+                                             [this](Request* req) { drop_sink_(req); });
+  dispatcher_->set_tracer(&tracer_);
+  for (auto& w : workers_) {
+    w->set_dispatcher(dispatcher_.get());
+    w->set_peers(worker_ptrs);
+    w->set_tracer(&tracer_);
+  }
+
+  // --- Reclaimer ---
+  CompletionQueue* reclaim_cq = fabric_->CreateCq();
+  QueuePair* reclaim_qp = fabric_->CreateQp(reclaim_cq);
+  reclaimer_ = std::make_unique<Reclaimer>(&engine_, reclaimer_core_.get(), mm_.get(),
+                                           reclaim_qp, config_.reclaim);
+}
+
+MdSystem::~MdSystem() = default;
+
+RunResult MdSystem::Run(double offered_rps, SimDuration warmup_ns, SimDuration measure_ns,
+                        const LoadGenerator::Options* opt_override) {
+  ADIOS_CHECK(!ran_);  // One measurement per system instance.
+  ran_ = true;
+
+  LoadGenerator::Options opts;
+  if (opt_override != nullptr) {
+    opts = *opt_override;
+  }
+  opts.rate_rps = offered_rps;
+  opts.warmup_ns = warmup_ns;
+  opts.measure_ns = measure_ns;
+  opts.seed = config_.seed * 1315423911u + 7;
+  loadgen_ = std::make_unique<LoadGenerator>(&engine_, fabric_.get(), dispatcher_.get(), app_,
+                                             opts);
+  reply_sink_ = [this](Request* req) { loadgen_->OnReply(req); };
+  drop_sink_ = [this](Request* req) { loadgen_->OnDrop(req); };
+
+  // Boot the compute node, then start offering load.
+  dispatcher_->Start();
+  for (auto& w : workers_) {
+    w->Start();
+  }
+  reclaimer_->Start();
+  loadgen_->Start();
+
+  // Warmup: fill the local cache, then open the measurement window.
+  engine_.RunUntil(warmup_ns);
+  fabric_->MarkUtilizationWindow();
+  for (auto& c : worker_cores_) {
+    c->MarkWindow();
+  }
+  dispatcher_core_->MarkWindow();
+  const SimTime window_start = engine_.now();
+
+  // Periodic telemetry: per-QP outstanding-fetch imbalance (the PF-aware
+  // congestion signal) and central-queue depth, every 50 us of the window.
+  RunningStats pf_mean_stats;
+  RunningStats pf_stddev_stats;
+  RunningStats queue_depth_stats;
+  const SimTime window_end_plan = warmup_ns + measure_ns;
+  std::function<void()> sample = [&]() {
+    if (engine_.now() >= window_end_plan) {
+      return;
+    }
+    RunningStats per_worker;
+    for (auto& w : workers_) {
+      per_worker.Add(static_cast<double>(w->OutstandingFaults()));
+    }
+    pf_mean_stats.Add(per_worker.mean());
+    pf_stddev_stats.Add(per_worker.StdDev());
+    queue_depth_stats.Add(static_cast<double>(dispatcher_->queue_depth()));
+    engine_.Schedule(Microseconds(50), sample);
+  };
+  engine_.Schedule(Microseconds(50), sample);
+
+  // Run the measurement window and drain all in-flight requests.
+  engine_.Run();
+
+  RunResult r;
+  r.system = config_.name;
+  r.offered_rps = offered_rps;
+  r.throughput_rps = loadgen_->ThroughputRps();
+  r.sent = loadgen_->sent();
+  r.completed = loadgen_->completed();
+  r.dropped = loadgen_->dropped();
+  r.measured = loadgen_->measured_completed();
+  r.e2e = loadgen_->e2e_all();
+  r.server = loadgen_->server();
+  r.queue = loadgen_->queue();
+  for (uint32_t op = 0; op < app_->NumOpTypes(); ++op) {
+    r.ops.push_back(OpResult{app_->OpName(op), loadgen_->e2e_of(op)});
+  }
+  // RdmaUtilization() averages over [window_start, now] including the
+  // drained tail; rescale the denominator to the configured measurement
+  // window (bytes / capacity / measure_ns).
+  r.rdma_utilization = fabric_->RdmaUtilization() *
+                       (static_cast<double>(engine_.now() - window_start) /
+                        static_cast<double>(measure_ns == 0 ? 1 : measure_ns));
+  if (r.rdma_utilization > 1.0) {
+    r.rdma_utilization = 1.0;
+  }
+  double wu = 0.0;
+  for (auto& c : worker_cores_) {
+    wu += c->Utilization(window_start);
+  }
+  r.worker_utilization = wu / static_cast<double>(worker_cores_.size());
+  r.dispatcher_utilization = dispatcher_core_->Utilization(window_start);
+  r.mem = mm_->stats();
+  r.dispatcher_drops = dispatcher_->stats().dropped;
+  for (auto& w : workers_) {
+    r.worker_yields += w->yields();
+    r.qp_full_stalls += w->qp_full_stalls();
+    r.requeues += w->preempt_fires();
+  }
+  r.mean_outstanding_pf = pf_mean_stats.mean();
+  r.pf_imbalance_stddev = pf_stddev_stats.mean();
+  r.mean_central_queue_depth = queue_depth_stats.mean();
+  uint64_t busy_ns = 0;
+  uint64_t busy_wait_ns = 0;
+  for (auto& c : worker_cores_) {
+    busy_ns += c->window_busy_ns();
+    busy_wait_ns += c->window_busy_wait_ns();
+  }
+  if (r.measured > 0) {
+    r.worker_cycles_per_request = static_cast<double>(config_.clock.ToCycles(busy_ns)) /
+                                  static_cast<double>(r.measured);
+  }
+  if (busy_ns > 0) {
+    r.busy_wait_fraction = static_cast<double>(busy_wait_ns) / static_cast<double>(busy_ns);
+  }
+  r.samples = loadgen_->samples();
+  return r;
+}
+
+std::vector<BreakdownRow> RunResult::Breakdown(const std::vector<double>& percentiles) const {
+  std::vector<BreakdownRow> rows;
+  if (samples.empty()) {
+    return rows;
+  }
+  std::vector<const RequestSample*> sorted;
+  sorted.reserve(samples.size());
+  for (const auto& s : samples) {
+    sorted.push_back(&s);
+  }
+  std::sort(sorted.begin(), sorted.end(), [](const RequestSample* a, const RequestSample* b) {
+    return a->server_ns < b->server_ns;
+  });
+  for (double p : percentiles) {
+    size_t idx = static_cast<size_t>(p / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
+    if (idx >= sorted.size()) {
+      idx = sorted.size() - 1;
+    }
+    const RequestSample& s = *sorted[idx];
+    BreakdownRow row;
+    row.percentile = p;
+    row.total_ns = s.server_ns;
+    row.queue_ns = s.queue_ns;
+    row.handle_ns = s.handle_ns;
+    row.rdma_ns = s.rdma_ns;
+    row.busy_wait_ns = s.busy_ns;
+    row.tx_wait_ns = s.tx_ns;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+RunResult RunOnce(const SystemConfig& config, Application* app, double offered_rps,
+                  SimDuration warmup_ns, SimDuration measure_ns) {
+  MdSystem system(config, app);
+  return system.Run(offered_rps, warmup_ns, measure_ns);
+}
+
+}  // namespace adios

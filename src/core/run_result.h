@@ -1,0 +1,76 @@
+// Results of one MD-system run: everything the figure benches print.
+
+#ifndef ADIOS_SRC_CORE_RUN_RESULT_H_
+#define ADIOS_SRC_CORE_RUN_RESULT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/histogram.h"
+#include "src/mem/memory_manager.h"
+#include "src/net/load_generator.h"
+
+namespace adios {
+
+// Latency-component breakdown of the request at a given percentile of the
+// server-side latency distribution (Figs. 2(c), 7(c)).
+struct BreakdownRow {
+  double percentile = 0.0;
+  uint64_t total_ns = 0;
+  uint64_t queue_ns = 0;
+  uint64_t handle_ns = 0;  // Includes rdma/busy/tx below.
+  uint64_t rdma_ns = 0;
+  uint64_t busy_wait_ns = 0;
+  uint64_t tx_wait_ns = 0;
+};
+
+struct OpResult {
+  std::string name;
+  Histogram e2e;
+};
+
+struct RunResult {
+  std::string system;
+  double offered_rps = 0.0;
+  double throughput_rps = 0.0;
+
+  uint64_t sent = 0;
+  uint64_t completed = 0;
+  uint64_t dropped = 0;
+  uint64_t measured = 0;
+
+  Histogram e2e;     // End-to-end latency, all ops, measured window.
+  Histogram server;  // Server-side latency (arrive -> reply posted).
+  Histogram queue;   // Queueing delay component.
+  std::vector<OpResult> ops;
+
+  double rdma_utilization = 0.0;   // Fetch-link payload utilization.
+  double worker_utilization = 0.0;  // Mean busy fraction across workers.
+  double dispatcher_utilization = 0.0;
+
+  // Sampled per-QP outstanding-page-fetch statistics over the measurement
+  // window: the congestion signal PF-aware dispatching balances (§3.4).
+  double mean_outstanding_pf = 0.0;     // Mean per-worker outstanding fetches.
+  double pf_imbalance_stddev = 0.0;     // Mean across-worker stddev per sample.
+  double mean_central_queue_depth = 0.0;
+
+  // CPU-efficiency accounting (the paper's §1 motivation: busy-waiting
+  // wastes the cycles that could serve other requests).
+  double worker_cycles_per_request = 0.0;  // Busy worker cycles / completed req.
+  double busy_wait_fraction = 0.0;         // Wasted (spinning) share of busy time.
+
+  MemoryManager::Stats mem;
+  uint64_t dispatcher_drops = 0;
+  uint64_t requeues = 0;
+  uint64_t worker_yields = 0;
+  uint64_t qp_full_stalls = 0;
+
+  std::vector<RequestSample> samples;
+
+  // Computes component breakdowns at the given server-latency percentiles.
+  std::vector<BreakdownRow> Breakdown(const std::vector<double>& percentiles) const;
+};
+
+}  // namespace adios
+
+#endif  // ADIOS_SRC_CORE_RUN_RESULT_H_

@@ -1,0 +1,136 @@
+// System-level configuration and the four evaluated system presets (§5).
+//
+//   SystemConfig::Adios()  — yield-based fault handling, PF-aware dispatch,
+//                            polling delegation, proactive reclaimer.
+//   SystemConfig::DiLOS()  — busy-waiting fault handling, round-robin
+//                            dispatch, synchronous TX.
+//   SystemConfig::DiLOSP() — DiLOS + Concord-style cooperative preemption
+//                            with a 5 us interval.
+//   SystemConfig::Hermit() — kernel-based busy-waiting MD: extra trap and
+//                            kernel network-stack costs plus background
+//                            kernel interference that inflates the tail.
+
+#ifndef ADIOS_SRC_CORE_SYSTEM_CONFIG_H_
+#define ADIOS_SRC_CORE_SYSTEM_CONFIG_H_
+
+#include <string>
+
+#include "src/base/time.h"
+#include "src/mem/reclaimer.h"
+#include "src/rdma/params.h"
+#include "src/sched/config.h"
+#include "src/unithread/universal_stack.h"
+
+namespace adios {
+
+struct SystemConfig {
+  std::string name = "Adios";
+  uint32_t num_workers = 8;      // Paper setup: 8 workers + dispatcher + reclaimer.
+  CycleClock clock{2000};        // 2.0 GHz Xeon Gold 6330.
+
+  SchedConfig sched;
+  FabricParams fabric;
+  Reclaimer::Options reclaim;
+
+  // Paging granularity (log2 bytes): 12 = 4 KiB compute-node pages as in
+  // the paper; 21 = 2 MiB huge pages (512x I/O amplification, §5.2).
+  uint32_t page_shift = 12;
+
+  // Local DRAM cache size as a fraction of the working set (paper default
+  // 20%); local_pages_override wins when nonzero.
+  double local_memory_ratio = 0.2;
+  uint64_t local_pages_override = 0;
+  double reclaim_low_watermark = 0.15;
+  double reclaim_high_watermark = 0.20;
+
+  UnithreadPool::Options pool = DefaultPool();
+
+  uint64_t seed = 1;
+
+  static UnithreadPool::Options DefaultPool() {
+    UnithreadPool::Options p;
+    // The paper pre-allocates 131,072 unithreads; the simulation's in-flight
+    // population is far smaller, so presets default to 8192 buffers (still
+    // >10x any observed peak) to keep host memory modest. Stacks are roomy
+    // because handlers execute real C++ on them.
+    p.count = 8192;
+    p.buffer_size = 32 * 1024;
+    p.mtu = 1536;
+    return p;
+  }
+
+  static SystemConfig Adios() {
+    SystemConfig c;
+    c.name = "Adios";
+    c.sched.fault_policy = FaultPolicy::kYield;
+    c.sched.dispatch_policy = DispatchPolicy::kPfAware;
+    c.sched.polling_delegation = true;
+    c.reclaim.proactive = true;
+    return c;
+  }
+
+  static SystemConfig DiLOS() {
+    SystemConfig c;
+    c.name = "DiLOS";
+    c.sched.fault_policy = FaultPolicy::kBusyWait;
+    c.sched.dispatch_policy = DispatchPolicy::kRoundRobin;
+    c.sched.polling_delegation = false;
+    c.sched.yield_bookkeeping_cycles = 0;  // No yield path: simpler code.
+    c.reclaim.proactive = true;  // DiLOS also runs a unikernel reclaimer.
+    return c;
+  }
+
+  static SystemConfig DiLOSP() {
+    SystemConfig c = DiLOS();
+    c.name = "DiLOS-P";
+    c.sched.preemption = true;
+    c.sched.preempt_interval_ns = 5000;
+    return c;
+  }
+
+  // Infiniswap-class baseline (§7, [21]): paging MD with yield-based fault
+  // handling through the *kernel* scheduler — heavyweight thread switches
+  // (~4 us, [40]) and scheduler wake-up delays swallow the fetch-overlap
+  // benefit; the paper measured 582 us - 73 ms P99.9 and 261 KRPS.
+  static SystemConfig Infiniswap() {
+    SystemConfig c;
+    c.name = "Infiniswap";
+    c.sched.fault_policy = FaultPolicy::kKernelYield;
+    c.sched.dispatch_policy = DispatchPolicy::kRoundRobin;
+    c.sched.polling_delegation = false;
+    c.sched.yield_bookkeeping_cycles = 0;
+    c.sched.kernel_fault_extra_cycles = 14000;   // Kernel swap-in path (~7 us).
+    c.sched.kernel_request_extra_cycles = 2400;  // Kernel network stack.
+    c.sched.kernel_ctx_switch_cycles = 8000;     // ~4 us thread switch [40].
+    c.sched.kernel_sched_delay_ns = 30000;       // Scheduler wake-up latency.
+    c.sched.kernel_jitter_prob = 0.002;
+    c.sched.kernel_jitter_min_cycles = 60000;
+    c.sched.kernel_jitter_max_cycles = 500000;
+    return c;
+  }
+
+  static SystemConfig Hermit() {
+    SystemConfig c;
+    c.name = "Hermit";
+    c.sched.fault_policy = FaultPolicy::kKernelBusyWait;
+    c.sched.dispatch_policy = DispatchPolicy::kRoundRobin;
+    c.sched.polling_delegation = false;
+    c.sched.yield_bookkeeping_cycles = 0;
+    // Kernel page-fault trap + return around the (async-optimized) handler.
+    c.sched.kernel_fault_extra_cycles = 2600;
+    // Kernel network stack (softirq + socket) per request, each direction.
+    c.sched.kernel_request_extra_cycles = 2400;
+    // Background kernel interference: rare long holds that dominate P99.9.
+    c.sched.kernel_jitter_prob = 0.002;
+    c.sched.kernel_jitter_min_cycles = 60000;    // 30 us
+    c.sched.kernel_jitter_max_cycles = 500000;   // 250 us
+    // Kernel thread switching is too slow to make yielding pay off — Hermit
+    // busy-waits, so context-switch costs barely matter; keep the default.
+    c.reclaim.proactive = true;
+    return c;
+  }
+};
+
+}  // namespace adios
+
+#endif  // ADIOS_SRC_CORE_SYSTEM_CONFIG_H_

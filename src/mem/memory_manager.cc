@@ -1,0 +1,77 @@
+#include "src/mem/memory_manager.h"
+
+namespace adios {
+
+MemoryManager::MemoryManager(Engine* engine, const Options& options)
+    : engine_(engine),
+      options_(options),
+      page_table_(options.total_pages),
+      frame_waiters_(engine) {
+  ADIOS_CHECK(options.total_pages > 0);
+  ADIOS_CHECK(options.local_pages > 0);
+  ADIOS_CHECK(options.reclaim_low_watermark >= 0.0);
+  ADIOS_CHECK(options.reclaim_high_watermark >= options.reclaim_low_watermark);
+}
+
+void MemoryManager::TakeFrame() {
+  ADIOS_CHECK(used_frames_ < options_.local_pages);
+  ++used_frames_;
+  if (BelowLowWatermark() && reclaim_kick_) {
+    reclaim_kick_();
+  }
+}
+
+void MemoryManager::ReleaseFrame() {
+  ADIOS_CHECK(used_frames_ > 0);
+  --used_frames_;
+  if (!frame_callbacks_.empty()) {
+    auto resume = std::move(frame_callbacks_.front());
+    frame_callbacks_.pop_front();
+    resume();
+  }
+  frame_waiters_.NotifyOne();
+}
+
+void MemoryManager::BeginFetch(uint64_t vpage, bool prefetch) {
+  TakeFrame();
+  page_table_.MarkFetching(vpage);
+  if (prefetch) {
+    ++stats_.prefetches;
+  } else {
+    ++stats_.faults;
+  }
+}
+
+void MemoryManager::AddFetchWaiter(uint64_t vpage, std::function<void()> resume) {
+  ADIOS_DCHECK(StateOf(vpage) == PageState::kFetching);
+  fetch_waiters_[vpage].push_back(std::move(resume));
+}
+
+void MemoryManager::CompleteFetch(uint64_t vpage) {
+  page_table_.MarkPresent(vpage);
+  auto it = fetch_waiters_.find(vpage);
+  if (it == fetch_waiters_.end()) {
+    return;
+  }
+  std::vector<std::function<void()>> waiters = std::move(it->second);
+  fetch_waiters_.erase(it);
+  for (auto& fn : waiters) {
+    fn();
+  }
+}
+
+bool MemoryManager::EvictPage(uint64_t vpage) {
+  PageEntry& e = page_table_.entry(vpage);
+  ADIOS_CHECK(e.state == PageState::kPresent);
+  const bool dirty = e.dirty;
+  page_table_.MarkRemote(vpage);
+  if (dirty) {
+    ++stats_.evictions_dirty;
+    return true;  // Frame stays reserved until the write-back completes.
+  }
+  ++stats_.evictions_clean;
+  ReleaseFrame();
+  return false;
+}
+
+}  // namespace adios

@@ -1,0 +1,155 @@
+// Memory manager: local frame accounting, fetch protocol, and eviction
+// support for the compute node (§3.3).
+//
+// The manager owns the page table and the free-frame budget. Fault handlers
+// (implemented by the scheduler's workers, since the waiting mechanics differ
+// per policy) drive the protocol:
+//
+//   StateOf(p) == kRemote  -> BeginFetch(p); post READ; AddFetchWaiter(p, fn);
+//                             block per policy (busy-wait or yield)
+//   StateOf(p) == kFetching-> AddFetchWaiter(p, fn); block per policy
+//   StateOf(p) == kPresent -> Touch(p, is_write); proceed (MMU hit, no cost)
+//
+// On READ completion the polling context calls CompleteFetch(p), which maps
+// the page and runs all registered waiter callbacks (each resumes one blocked
+// unithread). Frames are reserved at BeginFetch and released by eviction.
+
+#ifndef ADIOS_SRC_MEM_MEMORY_MANAGER_H_
+#define ADIOS_SRC_MEM_MEMORY_MANAGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/mem/page_table.h"
+#include "src/sim/engine.h"
+#include "src/sim/wait_queue.h"
+
+namespace adios {
+
+class MemoryManager {
+ public:
+  struct Options {
+    uint64_t total_pages = 0;  // Size of the remote working set.
+    uint64_t local_pages = 0;  // Compute-node DRAM cache capacity.
+    // Paging granularity: 12 = 4 KiB (the paper's compute nodes), 21 =
+    // 2 MiB huge pages (whose 512x I/O amplification §5.2's Silo port
+    // works around — reproduced in the ablation bench).
+    uint32_t page_shift = 12;
+    // Reclamation triggers when free frames drop below this fraction of
+    // local_pages (the paper's default threshold is 15%).
+    double reclaim_low_watermark = 0.15;
+    // Reclamation stops once free frames exceed this fraction.
+    double reclaim_high_watermark = 0.20;
+  };
+
+  struct Stats {
+    uint64_t faults = 0;            // Demand fetches started.
+    uint64_t prefetches = 0;        // Prefetch fetches started.
+    uint64_t shared_faults = 0;     // Faults coalesced onto an in-flight fetch.
+    uint64_t evictions_clean = 0;
+    uint64_t evictions_dirty = 0;
+    uint64_t frame_stalls = 0;      // Fault had to wait for a free frame.
+  };
+
+  MemoryManager(Engine* engine, const Options& options);
+
+  const Options& options() const { return options_; }
+  PageTable& page_table() { return page_table_; }
+  Stats& stats() { return stats_; }
+
+  PageState StateOf(uint64_t vpage) const { return page_table_.entry(vpage).state; }
+
+  // Paging-granularity helpers (fetch size = one page).
+  uint64_t page_bytes() const { return 1ull << options_.page_shift; }
+  uint64_t PageOfAddr(RemoteAddr addr) const { return addr >> options_.page_shift; }
+
+  // Fault-handling pins: a pinned page is never selected for eviction.
+  void Pin(uint64_t vpage) { ++page_table_.entry(vpage).pins; }
+  void Unpin(uint64_t vpage) {
+    PageEntry& e = page_table_.entry(vpage);
+    ADIOS_DCHECK(e.pins > 0);
+    --e.pins;
+  }
+
+  // Records an access to a resident page (reference/dirty bits).
+  void Touch(uint64_t vpage, bool write) {
+    PageEntry& e = page_table_.entry(vpage);
+    ADIOS_DCHECK(e.state == PageState::kPresent);
+    e.referenced = true;
+    if (write) {
+      e.dirty = true;
+    }
+  }
+
+  // --- Frame budget ---
+
+  uint64_t free_frames() const { return options_.local_pages - used_frames_; }
+  bool HasFreeFrame() const { return used_frames_ < options_.local_pages; }
+  bool BelowLowWatermark() const {
+    return static_cast<double>(free_frames()) <
+           options_.reclaim_low_watermark * static_cast<double>(options_.local_pages);
+  }
+  bool AboveHighWatermark() const {
+    return static_cast<double>(free_frames()) >=
+           options_.reclaim_high_watermark * static_cast<double>(options_.local_pages);
+  }
+
+  // Fault handlers blocked on frame exhaustion wait here; eviction notifies.
+  WaitQueue& frame_waiters() { return frame_waiters_; }
+
+  // Yield-policy frame waiters: a callback run (FIFO) when a frame frees —
+  // used by handlers that return control to their worker while waiting, so
+  // the worker can keep resuming ready unithreads (deadlock avoidance).
+  void AddFrameWaiter(std::function<void()> resume) {
+    frame_callbacks_.push_back(std::move(resume));
+  }
+
+  // Releases one frame (eviction finished) and wakes one frame waiter.
+  void ReleaseFrame();
+
+  // --- Fetch protocol ---
+
+  // Reserves a frame and transitions kRemote -> kFetching. The caller must
+  // have checked HasFreeFrame(). `prefetch` only affects stats.
+  void BeginFetch(uint64_t vpage, bool prefetch = false);
+
+  // Registers a callback to run when the in-flight fetch of `vpage` maps.
+  void AddFetchWaiter(uint64_t vpage, std::function<void()> resume);
+
+  // Transitions kFetching -> kPresent and runs (then clears) all waiters.
+  void CompleteFetch(uint64_t vpage);
+
+  // --- Eviction (driven by the reclaimer) ---
+
+  // Clock victim selection; page_table().num_pages() when none evictable.
+  uint64_t SelectVictim() { return page_table_.SelectVictim(); }
+
+  // Unmaps `vpage`. Returns true when the page was dirty: the caller must
+  // write it back and call ReleaseFrame() once the WRITE completes. Clean
+  // pages release their frame immediately.
+  bool EvictPage(uint64_t vpage);
+
+  // Hook invoked whenever the free-frame count falls below the low
+  // watermark (the proactive reclaimer's kick).
+  void set_reclaim_kick(std::function<void()> kick) { reclaim_kick_ = std::move(kick); }
+
+ private:
+  void TakeFrame();
+
+  Engine* engine_;
+  Options options_;
+  PageTable page_table_;
+  uint64_t used_frames_ = 0;
+  WaitQueue frame_waiters_;
+  std::deque<std::function<void()>> frame_callbacks_;
+  std::unordered_map<uint64_t, std::vector<std::function<void()>>> fetch_waiters_;
+  std::function<void()> reclaim_kick_;
+  Stats stats_;
+};
+
+}  // namespace adios
+
+#endif  // ADIOS_SRC_MEM_MEMORY_MANAGER_H_

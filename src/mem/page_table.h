@@ -1,0 +1,108 @@
+// Unified page table (DiLOS-style single-lookup table, §1/§3.3).
+//
+// One dense entry per virtual page of the remote working set. Consolidates
+// residency state, dirty/referenced bits, and fetch-in-progress bookkeeping
+// so a fault needs exactly one lookup.
+
+#ifndef ADIOS_SRC_MEM_PAGE_TABLE_H_
+#define ADIOS_SRC_MEM_PAGE_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/mem/remote_heap.h"
+
+namespace adios {
+
+enum class PageState : uint8_t {
+  kRemote = 0,    // Only the memory node has the page.
+  kFetching = 1,  // A one-sided READ is in flight; a frame is reserved.
+  kPresent = 2,   // Cached in local DRAM.
+};
+
+struct PageEntry {
+  PageState state = PageState::kRemote;
+  bool dirty = false;
+  bool referenced = false;  // Clock bit for eviction.
+  // Fault-handling pins: pages with blocked waiters must not be evicted
+  // before the waiters touch them, or extreme memory pressure livelocks in
+  // an evict-before-resume/refault cycle (kernels pin for the same reason).
+  uint16_t pins = 0;
+};
+
+class PageTable {
+ public:
+  explicit PageTable(uint64_t num_pages) : entries_(num_pages) {}
+
+  uint64_t num_pages() const { return entries_.size(); }
+
+  PageEntry& entry(uint64_t vpage) {
+    ADIOS_DCHECK(vpage < entries_.size());
+    return entries_[vpage];
+  }
+  const PageEntry& entry(uint64_t vpage) const {
+    ADIOS_DCHECK(vpage < entries_.size());
+    return entries_[vpage];
+  }
+
+  uint64_t resident_pages() const { return resident_; }
+  uint64_t fetching_pages() const { return fetching_; }
+
+  void MarkFetching(uint64_t vpage) {
+    PageEntry& e = entry(vpage);
+    ADIOS_DCHECK(e.state == PageState::kRemote);
+    e.state = PageState::kFetching;
+    ++fetching_;
+  }
+
+  void MarkPresent(uint64_t vpage) {
+    PageEntry& e = entry(vpage);
+    ADIOS_DCHECK(e.state == PageState::kFetching);
+    e.state = PageState::kPresent;
+    e.referenced = true;
+    e.dirty = false;
+    --fetching_;
+    ++resident_;
+  }
+
+  void MarkRemote(uint64_t vpage) {
+    PageEntry& e = entry(vpage);
+    ADIOS_DCHECK(e.state == PageState::kPresent);
+    e.state = PageState::kRemote;
+    e.referenced = false;
+    e.dirty = false;
+    --resident_;
+  }
+
+  // Clock-algorithm victim selection: advances the hand, clearing reference
+  // bits, until an unreferenced resident page is found. Returns num_pages()
+  // when nothing is evictable.
+  uint64_t SelectVictim() {
+    const uint64_t n = entries_.size();
+    for (uint64_t scanned = 0; scanned < 2 * n; ++scanned) {
+      const uint64_t v = hand_;
+      hand_ = (hand_ + 1) % n;
+      PageEntry& e = entries_[v];
+      if (e.state != PageState::kPresent || e.pins > 0) {
+        continue;
+      }
+      if (e.referenced) {
+        e.referenced = false;
+        continue;
+      }
+      return v;
+    }
+    return n;
+  }
+
+ private:
+  std::vector<PageEntry> entries_;
+  uint64_t resident_ = 0;
+  uint64_t fetching_ = 0;
+  uint64_t hand_ = 0;
+};
+
+}  // namespace adios
+
+#endif  // ADIOS_SRC_MEM_PAGE_TABLE_H_

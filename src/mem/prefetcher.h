@@ -1,0 +1,64 @@
+// Sequential readahead prefetcher.
+//
+// Baseline MD systems overlap prefetch computation with page-fetch I/O
+// (§2.3); scan-heavy workloads benefit from fetching ahead of a sequential
+// fault stream. This detector ramps a per-stream readahead window on
+// consecutive faults and resets on random ones, like Linux readahead. The
+// fault path asks it which extra pages to fetch; the caller posts the READs
+// (no waiters — prefetched pages map when their completions are polled).
+
+#ifndef ADIOS_SRC_MEM_PREFETCHER_H_
+#define ADIOS_SRC_MEM_PREFETCHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mem/memory_manager.h"
+
+namespace adios {
+
+class SequentialPrefetcher {
+ public:
+  // max_window = 0 disables prefetching entirely.
+  explicit SequentialPrefetcher(uint32_t max_window) : max_window_(max_window) {}
+
+  // Called on a demand fault at `vpage`; appends prefetch candidates (pages
+  // that are remote and have frames available) to `out`.
+  void OnFault(uint64_t vpage, MemoryManager* mm, std::vector<uint64_t>* out) {
+    if (max_window_ == 0) {
+      return;
+    }
+    if (vpage == last_fault_ + 1) {
+      streak_ = streak_ < 16 ? streak_ + 1 : streak_;
+    } else {
+      streak_ = 0;
+    }
+    last_fault_ = vpage;
+    if (streak_ == 0) {
+      return;
+    }
+    uint32_t window = 1u << (streak_ < 5 ? streak_ : 5);
+    if (window > max_window_) {
+      window = max_window_;
+    }
+    const uint64_t total = mm->page_table().num_pages();
+    for (uint64_t p = vpage + 1; p <= vpage + window && p < total; ++p) {
+      if (mm->StateOf(p) != PageState::kRemote || !mm->HasFreeFrame()) {
+        break;
+      }
+      mm->BeginFetch(p, /*prefetch=*/true);
+      out->push_back(p);
+    }
+  }
+
+  uint32_t max_window() const { return max_window_; }
+
+ private:
+  uint32_t max_window_;
+  uint64_t last_fault_ = ~0ull;
+  uint32_t streak_ = 0;
+};
+
+}  // namespace adios
+
+#endif  // ADIOS_SRC_MEM_PREFETCHER_H_

@@ -1,0 +1,86 @@
+#include "src/mem/reclaimer.h"
+
+namespace adios {
+
+Reclaimer::Reclaimer(Engine* engine, CpuCore* core, MemoryManager* mm, QueuePair* qp,
+                     Options options)
+    : engine_(engine),
+      core_(core),
+      mm_(mm),
+      qp_(qp),
+      options_(options),
+      sleep_queue_(engine),
+      cq_wait_(engine) {}
+
+void Reclaimer::Start() {
+  mm_->set_reclaim_kick([this] {
+    if (!kicked_) {
+      kicked_ = true;
+      // Proactive mode: the pinned thread notices immediately. Wake-up mode:
+      // the notification goes through the scheduler, paying a delay.
+      sleep_queue_.NotifyOne(options_.proactive ? 0 : options_.wakeup_delay_ns);
+    }
+  });
+  qp_->cq()->set_on_push([this] {
+    cq_wait_.NotifyAll();
+    // A write-back completion must also wake an idle reclaimer so the frame
+    // is released promptly even when no allocation kick is pending.
+    sleep_queue_.NotifyAll();
+  });
+  engine_->SpawnFiber("reclaimer", [this] { Loop(); });
+}
+
+void Reclaimer::DrainWriteCompletions() {
+  std::vector<Completion> batch(16);
+  for (;;) {
+    const size_t n = qp_->cq()->Poll(batch.size(), batch.begin());
+    if (n == 0) {
+      return;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      ADIOS_DCHECK(batch[i].type == WorkType::kWrite);
+      ADIOS_DCHECK(writebacks_inflight_ > 0);
+      --writebacks_inflight_;
+      mm_->ReleaseFrame();
+    }
+    core_->Consume(30 * n);  // CQE processing.
+  }
+}
+
+void Reclaimer::Loop() {
+  for (;;) {
+    DrainWriteCompletions();
+    if (!mm_->BelowLowWatermark()) {
+      kicked_ = false;
+      sleep_queue_.Wait();
+      continue;
+    }
+    // Evict until comfortably above the watermark (hysteresis band).
+    while (!mm_->AboveHighWatermark()) {
+      DrainWriteCompletions();
+      const uint64_t victim = mm_->SelectVictim();
+      if (victim == mm_->page_table().num_pages()) {
+        // Nothing evictable: frames are tied up in in-flight fetches or
+        // write-backs. Wait for progress rather than spinning.
+        if (writebacks_inflight_ > 0) {
+          cq_wait_.Wait();
+        } else {
+          engine_->Wait(options_.scan_fail_retry_ns);
+        }
+        continue;
+      }
+      core_->Consume(options_.evict_cycles);
+      const bool dirty = mm_->EvictPage(victim);
+      ++pages_reclaimed_;
+      if (dirty) {
+        while (!qp_->PostWrite(mm_->page_bytes(), victim)) {
+          cq_wait_.Wait();
+          DrainWriteCompletions();
+        }
+        ++writebacks_inflight_;
+      }
+    }
+  }
+}
+
+}  // namespace adios

@@ -1,0 +1,100 @@
+// Remote memory backing store and allocator.
+//
+// The memory node's DRAM is modeled as a host-resident byte array
+// (RemoteRegion): application data structures genuinely live there and are
+// genuinely read back during request handling, so access patterns are real.
+// Whether a page is cached in the compute node's local DRAM is tracked
+// separately by the PageTable — residency affects *timing*, never data.
+//
+// RemoteHeap is a bump allocator handing out RemoteAddr offsets; apps build
+// their tables/indexes in it during setup (setup writes bypass fault timing).
+
+#ifndef ADIOS_SRC_MEM_REMOTE_HEAP_H_
+#define ADIOS_SRC_MEM_REMOTE_HEAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "src/base/check.h"
+
+namespace adios {
+
+// Byte offset into the remote region. 0 is a valid address.
+using RemoteAddr = uint64_t;
+
+inline constexpr uint64_t kPageSize = 4096;
+inline constexpr uint64_t kPageShift = 12;
+
+inline uint64_t PageOf(RemoteAddr addr) { return addr >> kPageShift; }
+inline RemoteAddr PageStart(uint64_t vpage) { return vpage << kPageShift; }
+
+class RemoteRegion {
+ public:
+  explicit RemoteRegion(size_t bytes) : data_(bytes) {
+    ADIOS_CHECK(bytes % kPageSize == 0);
+  }
+
+  std::byte* data() { return data_.data(); }
+  const std::byte* data() const { return data_.data(); }
+  size_t size() const { return data_.size(); }
+  uint64_t num_pages() const { return data_.size() >> kPageShift; }
+
+  template <typename T>
+  void WriteObject(RemoteAddr addr, const T& value) {
+    ADIOS_DCHECK(addr + sizeof(T) <= size());
+    std::memcpy(data_.data() + addr, &value, sizeof(T));
+  }
+
+  template <typename T>
+  T ReadObject(RemoteAddr addr) const {
+    ADIOS_DCHECK(addr + sizeof(T) <= size());
+    T value;
+    std::memcpy(&value, data_.data() + addr, sizeof(T));
+    return value;
+  }
+
+  void WriteBytes(RemoteAddr addr, const void* src, size_t len) {
+    ADIOS_DCHECK(addr + len <= size());
+    std::memcpy(data_.data() + addr, src, len);
+  }
+
+  void ReadBytes(RemoteAddr addr, void* dst, size_t len) const {
+    ADIOS_DCHECK(addr + len <= size());
+    std::memcpy(dst, data_.data() + addr, len);
+  }
+
+ private:
+  std::vector<std::byte> data_;
+};
+
+class RemoteHeap {
+ public:
+  explicit RemoteHeap(RemoteRegion* region) : region_(region) {}
+
+  RemoteRegion* region() { return region_; }
+
+  // Allocates `bytes` with the given alignment; aborts when out of space
+  // (workload sizing is static, so exhaustion is a configuration bug).
+  RemoteAddr Alloc(size_t bytes, size_t align = 8) {
+    ADIOS_CHECK(align > 0 && (align & (align - 1)) == 0);
+    RemoteAddr addr = (next_ + align - 1) & ~(static_cast<RemoteAddr>(align) - 1);
+    ADIOS_CHECK(addr + bytes <= region_->size());
+    next_ = addr + bytes;
+    return addr;
+  }
+
+  // Page-aligned allocation, common for app tables.
+  RemoteAddr AllocPages(uint64_t pages) { return Alloc(pages * kPageSize, kPageSize); }
+
+  uint64_t used_bytes() const { return next_; }
+
+ private:
+  RemoteRegion* region_;
+  RemoteAddr next_ = 0;
+};
+
+}  // namespace adios
+
+#endif  // ADIOS_SRC_MEM_REMOTE_HEAP_H_

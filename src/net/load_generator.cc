@@ -1,0 +1,98 @@
+#include "src/net/load_generator.h"
+
+namespace adios {
+
+LoadGenerator::LoadGenerator(Engine* engine, RdmaFabric* fabric, Dispatcher* dispatcher,
+                             Application* app, const Options& options)
+    : engine_(engine),
+      fabric_(fabric),
+      dispatcher_(dispatcher),
+      app_(app),
+      options_(options),
+      arrival_rng_(options.seed),
+      workload_rng_(options.seed ^ 0x9e3779b97f4a7c15ull),
+      e2e_per_op_(app->NumOpTypes()) {
+  ADIOS_CHECK(options.rate_rps > 0.0);
+  samples_.reserve(1024);
+}
+
+void LoadGenerator::Start() {
+  end_time_ = engine_->now() + options_.warmup_ns + options_.measure_ns;
+  ScheduleNextArrival();
+}
+
+void LoadGenerator::ScheduleNextArrival() {
+  const double mean_gap_ns = 1e9 / options_.rate_rps;
+  const SimDuration gap =
+      static_cast<SimDuration>(arrival_rng_.NextExponential(mean_gap_ns)) + 1;
+  engine_->Schedule(gap, [this] {
+    if (engine_->now() >= end_time_) {
+      return;  // Generation window over; in-flight requests drain.
+    }
+    EmitRequest();
+    ScheduleNextArrival();
+  });
+}
+
+void LoadGenerator::EmitRequest() {
+  auto* req = new Request();
+  req->id = next_id_++;
+  req->request_bytes = options_.request_bytes;
+  req->reply_bytes = 64;
+  app_->FillRequest(workload_rng_, req);
+  req->gen_time = engine_->now();
+  ++sent_;
+  Dispatcher* dispatcher = dispatcher_;
+  fabric_->ClientInject(req->request_bytes, [dispatcher, req] { dispatcher->OnRx(req); });
+}
+
+void LoadGenerator::OnReply(Request* req) {
+  req->reply_time = engine_->now();
+  ++completed_;
+  const SimTime measure_start = options_.warmup_ns;
+  if (req->gen_time >= measure_start) {
+    ++measured_completed_;
+    last_measured_reply_ = req->reply_time;
+    e2e_all_.Add(req->E2eNs());
+    if (req->op < e2e_per_op_.size()) {
+      e2e_per_op_[req->op].Add(req->E2eNs());
+    }
+    server_.Add(req->ServerNs());
+    queue_.Add(req->QueueNs());
+    if (samples_.size() < options_.max_samples) {
+      RequestSample s;
+      s.op = req->op;
+      s.e2e_ns = req->E2eNs();
+      s.server_ns = req->ServerNs();
+      s.queue_ns = req->QueueNs();
+      s.handle_ns = req->HandleNs();
+      s.rdma_ns = req->rdma_wait_ns;
+      s.busy_ns = req->busy_wait_ns;
+      s.tx_ns = req->tx_wait_ns;
+      s.faults = req->faults;
+      samples_.push_back(s);
+    }
+    if (options_.verify_every > 0 && completed_ % options_.verify_every == 0) {
+      ADIOS_CHECK(app_->Verify(*req));
+    }
+  }
+  delete req;
+}
+
+void LoadGenerator::OnDrop(Request* req) {
+  ++dropped_;
+  delete req;
+}
+
+double LoadGenerator::ThroughputRps() const {
+  if (measured_completed_ == 0) {
+    return 0.0;
+  }
+  // Completions of measured requests over the measurement window. Use the
+  // configured window; replies landing after generation stopped still
+  // belong to offered load within the window.
+  const double seconds = static_cast<double>(options_.measure_ns) * 1e-9;
+  return static_cast<double>(measured_completed_) / seconds;
+}
+
+}  // namespace adios

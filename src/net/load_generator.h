@@ -1,0 +1,108 @@
+// Open-loop Poisson load generator (paper §4, "Load generator").
+//
+// Emulates many clients: request arrivals follow a Poisson process at the
+// offered rate, independent of completions (open loop — queues grow and the
+// system drops when saturated). Latency is end-to-end, TX-timestamp to
+// RX-timestamp at the generator, like the paper's NIC hardware timestamps.
+// Requests generated during warmup are excluded from statistics.
+
+#ifndef ADIOS_SRC_NET_LOAD_GENERATOR_H_
+#define ADIOS_SRC_NET_LOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/apps/application.h"
+#include "src/base/histogram.h"
+#include "src/base/rng.h"
+#include "src/rdma/fabric.h"
+#include "src/sched/dispatcher.h"
+#include "src/sim/engine.h"
+
+namespace adios {
+
+// Compact per-request component record kept for breakdown analysis
+// (Figs. 2(b,c), 7(c)).
+struct RequestSample {
+  uint32_t op = 0;
+  uint64_t e2e_ns = 0;
+  uint64_t server_ns = 0;  // arrive -> finish at the compute node.
+  uint64_t queue_ns = 0;   // arrive -> handler start.
+  uint64_t handle_ns = 0;  // handler start -> finish (includes rdma+tx waits).
+  uint64_t rdma_ns = 0;    // blocked on own fetches.
+  uint64_t busy_ns = 0;    // busy-waiting portion.
+  uint64_t tx_ns = 0;      // synchronous TX wait.
+  uint32_t faults = 0;
+};
+
+class LoadGenerator {
+ public:
+  struct Options {
+    double rate_rps = 1e6;
+    SimDuration warmup_ns = Milliseconds(20);
+    SimDuration measure_ns = Milliseconds(100);
+    uint64_t seed = 7;
+    uint32_t request_bytes = 64;
+    size_t max_samples = 1u << 20;
+    // Spot-check every Nth completed request against Application::Verify.
+    uint32_t verify_every = 64;
+  };
+
+  LoadGenerator(Engine* engine, RdmaFabric* fabric, Dispatcher* dispatcher, Application* app,
+                const Options& options);
+
+  void Start();
+
+  // Reply delivered back at the generator (wired as the send's delivery
+  // callback). Records stats and frees the request.
+  void OnReply(Request* req);
+  // Request dropped at the compute node's RX ring.
+  void OnDrop(Request* req);
+
+  // --- Results (read after the engine drained) ---
+  uint64_t sent() const { return sent_; }
+  uint64_t completed() const { return completed_; }
+  uint64_t dropped() const { return dropped_; }
+  uint64_t in_flight() const { return sent_ - completed_ - dropped_; }
+
+  uint64_t measured_completed() const { return measured_completed_; }
+  // Throughput over the measurement window, in requests/second.
+  double ThroughputRps() const;
+
+  const Histogram& e2e_all() const { return e2e_all_; }
+  const Histogram& e2e_of(uint32_t op) const { return e2e_per_op_[op]; }
+  const Histogram& server() const { return server_; }
+  const Histogram& queue() const { return queue_; }
+  const std::vector<RequestSample>& samples() const { return samples_; }
+
+ private:
+  void ScheduleNextArrival();
+  void EmitRequest();
+
+  Engine* engine_;
+  RdmaFabric* fabric_;
+  Dispatcher* dispatcher_;
+  Application* app_;
+  Options options_;
+  Rng arrival_rng_;
+  Rng workload_rng_;
+  SimTime end_time_ = 0;
+
+  uint64_t next_id_ = 1;
+  uint64_t sent_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t measured_completed_ = 0;
+  SimTime last_measured_reply_ = 0;
+
+  Histogram e2e_all_;
+  std::vector<Histogram> e2e_per_op_;
+  Histogram server_;
+  Histogram queue_;
+  std::vector<RequestSample> samples_;
+};
+
+}  // namespace adios
+
+#endif  // ADIOS_SRC_NET_LOAD_GENERATOR_H_

@@ -1,0 +1,166 @@
+#include "src/rdma/fabric.h"
+
+namespace adios {
+
+RdmaFabric::RdmaFabric(Engine* engine, const FabricParams& params)
+    : engine_(engine),
+      params_(params),
+      wqe_engine_(engine, "wqe-engine", /*gbps=*/0.0, params.wqe_process_ns,
+                  params.fifo_links ? FairLink::Discipline::kFifo
+                                    : FairLink::Discipline::kRoundRobin),
+      c2m_link_(engine, "c2m", params.link_gbps, 0,
+                params.fifo_links ? FairLink::Discipline::kFifo
+                                  : FairLink::Discipline::kRoundRobin),
+      m2c_link_(engine, "m2c", params.link_gbps, 0,
+                params.fifo_links ? FairLink::Discipline::kFifo
+                                  : FairLink::Discipline::kRoundRobin),
+      client_tx_link_(engine, "client-tx", params.client_link_gbps),
+      client_rx_link_(engine, "client-rx", params.client_link_gbps) {
+  client_rx_flow_ = client_rx_link_.AddFlow();
+}
+
+CompletionQueue* RdmaFabric::CreateCq() {
+  cqs_.push_back(std::make_unique<CompletionQueue>(static_cast<uint32_t>(cqs_.size())));
+  return cqs_.back().get();
+}
+
+QueuePair* RdmaFabric::CreateQp(CompletionQueue* cq) {
+  ADIOS_CHECK(cq != nullptr);
+  const uint32_t id = static_cast<uint32_t>(qps_.size());
+  // The same flow id indexes this QP on every RR stage it traverses.
+  const uint32_t flow = wqe_engine_.AddFlow();
+  const uint32_t f2 = c2m_link_.AddFlow();
+  const uint32_t f3 = m2c_link_.AddFlow();
+  const uint32_t f4 = client_tx_link_.AddFlow();
+  ADIOS_CHECK(flow == f2 && flow == f3 && flow == f4);
+  qps_.push_back(std::make_unique<QueuePair>(this, id, flow, cq, params_.qp_depth));
+  return qps_.back().get();
+}
+
+bool QueuePair::PostRead(uint64_t bytes, uint64_t wr_id) {
+  if (full()) {
+    return false;
+  }
+  ++outstanding_;
+  ++posted_reads_;
+  fabric_->IssueRead(this, bytes, wr_id);
+  return true;
+}
+
+bool QueuePair::PostWrite(uint64_t bytes, uint64_t wr_id) {
+  if (full()) {
+    return false;
+  }
+  ++outstanding_;
+  ++posted_writes_;
+  fabric_->IssueWrite(this, bytes, wr_id);
+  return true;
+}
+
+bool QueuePair::PostSend(uint64_t bytes, uint64_t wr_id, std::function<void()> on_delivered) {
+  if (full()) {
+    return false;
+  }
+  ++outstanding_;
+  ++posted_sends_;
+  fabric_->IssueSend(this, bytes, wr_id, std::move(on_delivered));
+  return true;
+}
+
+void QueuePair::Complete(uint64_t wr_id, WorkType type) {
+  ADIOS_DCHECK(outstanding_ > 0);
+  --outstanding_;
+  cq_->Push(Completion{wr_id, id_, type, fabric_->engine()->now()});
+}
+
+void RdmaFabric::IssueRead(QueuePair* qp, uint64_t bytes, uint64_t wr_id) {
+  const uint32_t flow = qp->flow_id();
+  const uint64_t hdr = params_.header_bytes;
+  wqe_engine_.Enqueue(flow, 0, [this, qp, flow, bytes, hdr, wr_id] {
+    c2m_link_.Enqueue(flow, hdr, [this, qp, flow, bytes, hdr, wr_id] {
+      engine_->Schedule(params_.wire_latency_ns + params_.remote_dma_ns,
+                        [this, qp, flow, bytes, hdr, wr_id] {
+                          m2c_link_.Enqueue(flow, bytes + hdr, [this, qp, wr_id] {
+                            engine_->Schedule(
+                                params_.wire_latency_ns + params_.cqe_deliver_ns,
+                                [qp, wr_id] { qp->Complete(wr_id, WorkType::kRead); });
+                          });
+                        });
+    });
+  });
+}
+
+void RdmaFabric::IssueWrite(QueuePair* qp, uint64_t bytes, uint64_t wr_id) {
+  const uint32_t flow = qp->flow_id();
+  const uint64_t hdr = params_.header_bytes;
+  wqe_engine_.Enqueue(flow, 0, [this, qp, flow, bytes, hdr, wr_id] {
+    // WRITE payload travels compute -> memory node.
+    c2m_link_.Enqueue(flow, bytes + hdr, [this, qp, flow, hdr, wr_id] {
+      engine_->Schedule(params_.wire_latency_ns + params_.remote_dma_ns,
+                        [this, qp, flow, hdr, wr_id] {
+                          // Small ack back to the requester.
+                          m2c_link_.Enqueue(flow, hdr, [this, qp, wr_id] {
+                            engine_->Schedule(
+                                params_.wire_latency_ns + params_.cqe_deliver_ns,
+                                [qp, wr_id] { qp->Complete(wr_id, WorkType::kWrite); });
+                          });
+                        });
+    });
+  });
+}
+
+void RdmaFabric::IssueSend(QueuePair* qp, uint64_t bytes, uint64_t wr_id,
+                           std::function<void()> on_delivered) {
+  const uint32_t flow = qp->flow_id();
+  const uint64_t hdr = params_.header_bytes;
+  wqe_engine_.Enqueue(flow, 0, [this, qp, flow, bytes, hdr, wr_id,
+                                on_delivered = std::move(on_delivered)]() mutable {
+    engine_->Schedule(params_.tx_dma_ns, [this, qp, flow, bytes, hdr, wr_id,
+                                          on_delivered = std::move(on_delivered)]() mutable {
+      client_tx_link_.Enqueue(flow, bytes + hdr,
+                            [this, qp, wr_id, on_delivered = std::move(on_delivered)]() mutable {
+                              // TX completion: last bit left the NIC.
+                              engine_->Schedule(params_.cqe_deliver_ns, [qp, wr_id] {
+                                qp->Complete(wr_id, WorkType::kSend);
+                              });
+                              // Receiver sees the packet one wire latency later.
+                              if (on_delivered) {
+                                engine_->Schedule(params_.client_wire_latency_ns,
+                                                  std::move(on_delivered));
+                              }
+                            });
+    });
+  });
+}
+
+void RdmaFabric::ClientInject(uint64_t bytes, std::function<void()> deliver) {
+  client_rx_link_.Enqueue(client_rx_flow_, bytes + params_.header_bytes,
+                          [this, deliver = std::move(deliver)]() mutable {
+                            engine_->Schedule(params_.client_wire_latency_ns,
+                                              std::move(deliver));
+                          });
+}
+
+void RdmaFabric::MarkUtilizationWindow() {
+  c2m_link_.MarkWindow();
+  m2c_link_.MarkWindow();
+  client_tx_link_.MarkWindow();
+  client_rx_link_.MarkWindow();
+}
+
+double RdmaFabric::RdmaUtilization() const {
+  // Fetches dominate; report the busier direction.
+  const double up = c2m_link_.WindowUtilization();
+  const double down = m2c_link_.WindowUtilization();
+  return up > down ? up : down;
+}
+
+uint32_t RdmaFabric::TotalOutstanding() const {
+  uint32_t n = 0;
+  for (const auto& qp : qps_) {
+    n += qp->outstanding();
+  }
+  return n;
+}
+
+}  // namespace adios

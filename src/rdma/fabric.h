@@ -1,0 +1,145 @@
+// The simulated RDMA fabric: compute-node NIC, memory-node NIC, and the
+// 100 GbE links between compute node, memory node, and load generator.
+//
+// Pipeline for a one-sided READ (page fetch) posted on QP q:
+//
+//   post -> [WQE engine: RR over QPs, fixed cost]       (compute NIC)
+//        -> [c2m link: request header serialization]
+//        -> wire latency + memory-node DMA read
+//        -> [m2c link: RR over QPs, payload serialization]   <- the contended hop
+//        -> wire latency + CQE delivery
+//        -> completion appended to q's CQ
+//
+// WRITEs (page write-back) carry their payload on the c2m link and get a
+// small ack back. Raw-Ethernet sends to the load generator use the client
+// link; their transmit completions are steered to a selectable CQ, which is
+// the mechanism behind polling delegation.
+
+#ifndef ADIOS_SRC_RDMA_FABRIC_H_
+#define ADIOS_SRC_RDMA_FABRIC_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/rdma/completion.h"
+#include "src/rdma/fair_link.h"
+#include "src/rdma/params.h"
+#include "src/sim/engine.h"
+
+namespace adios {
+
+class RdmaFabric;
+
+// A queue pair. Owns nothing but its identity and counters; the fabric
+// executes the datapath.
+class QueuePair {
+ public:
+  QueuePair(RdmaFabric* fabric, uint32_t id, uint32_t flow_id, CompletionQueue* cq,
+            uint32_t depth)
+      : fabric_(fabric), id_(id), flow_id_(flow_id), cq_(cq), depth_(depth) {}
+
+  QueuePair(const QueuePair&) = delete;
+  QueuePair& operator=(const QueuePair&) = delete;
+
+  uint32_t id() const { return id_; }
+  uint32_t flow_id() const { return flow_id_; }
+
+  // One-sided READ of `bytes` from the memory node. Returns false when the
+  // send queue is full (depth_ WQEs already outstanding).
+  bool PostRead(uint64_t bytes, uint64_t wr_id);
+
+  // One-sided WRITE of `bytes` to the memory node (page write-back).
+  bool PostWrite(uint64_t bytes, uint64_t wr_id);
+
+  // Raw-Ethernet transmit of `bytes` to the load generator. `on_wire_done`
+  // (optional) fires when the last bit leaves the NIC — the load-generator
+  // side then sees the packet one wire latency later.
+  bool PostSend(uint64_t bytes, uint64_t wr_id, std::function<void()> on_delivered = nullptr);
+
+  uint32_t outstanding() const { return outstanding_; }
+  uint32_t depth() const { return depth_; }
+  bool full() const { return outstanding_ >= depth_; }
+
+  CompletionQueue* cq() { return cq_; }
+  // Re-steers future completions (polling delegation).
+  void set_cq(CompletionQueue* cq) { cq_ = cq; }
+
+  uint64_t posted_reads() const { return posted_reads_; }
+  uint64_t posted_writes() const { return posted_writes_; }
+  uint64_t posted_sends() const { return posted_sends_; }
+
+ private:
+  friend class RdmaFabric;
+
+  void Complete(uint64_t wr_id, WorkType type);
+
+  RdmaFabric* fabric_;
+  uint32_t id_;
+  uint32_t flow_id_;
+  CompletionQueue* cq_;
+  uint32_t depth_;
+  uint32_t outstanding_ = 0;
+  uint64_t posted_reads_ = 0;
+  uint64_t posted_writes_ = 0;
+  uint64_t posted_sends_ = 0;
+};
+
+class RdmaFabric {
+ public:
+  RdmaFabric(Engine* engine, const FabricParams& params);
+
+  RdmaFabric(const RdmaFabric&) = delete;
+  RdmaFabric& operator=(const RdmaFabric&) = delete;
+
+  Engine* engine() { return engine_; }
+  const FabricParams& params() const { return params_; }
+
+  CompletionQueue* CreateCq();
+  // Creates a QP whose completions go to `cq`.
+  QueuePair* CreateQp(CompletionQueue* cq);
+
+  // Injects a request packet from the load generator toward the compute
+  // node: client-link serialization + wire latency, then `deliver` runs
+  // (the scheduler pushes into its RX ring there).
+  void ClientInject(uint64_t bytes, std::function<void()> deliver);
+
+  // The fetch-direction (memory node -> compute) RDMA link; its utilization
+  // is what the paper plots in Figs. 2(e)/7(e).
+  FairLink& rdma_response_link() { return m2c_link_; }
+  FairLink& rdma_request_link() { return c2m_link_; }
+  FairLink& client_tx_link() { return client_tx_link_; }
+  FairLink& client_rx_link() { return client_rx_link_; }
+
+  void MarkUtilizationWindow();
+  // Combined RDMA traffic (both directions) relative to one link's capacity;
+  // fetch-dominated workloads make this ~= response-link utilization.
+  double RdmaUtilization() const;
+
+  // Total outstanding one-sided operations across all QPs.
+  uint32_t TotalOutstanding() const;
+
+ private:
+  friend class QueuePair;
+
+  void IssueRead(QueuePair* qp, uint64_t bytes, uint64_t wr_id);
+  void IssueWrite(QueuePair* qp, uint64_t bytes, uint64_t wr_id);
+  void IssueSend(QueuePair* qp, uint64_t bytes, uint64_t wr_id,
+                 std::function<void()> on_delivered);
+
+  Engine* engine_;
+  FabricParams params_;
+  FairLink wqe_engine_;      // Compute-NIC requester engine.
+  FairLink c2m_link_;        // Compute -> memory node.
+  FairLink m2c_link_;        // Memory node -> compute (fetch payloads).
+  FairLink client_tx_link_;  // Compute -> load generator (replies).
+  FairLink client_rx_link_;  // Load generator -> compute (requests).
+  uint32_t client_rx_flow_;
+  std::vector<std::unique_ptr<CompletionQueue>> cqs_;
+  std::vector<std::unique_ptr<QueuePair>> qps_;
+};
+
+}  // namespace adios
+
+#endif  // ADIOS_SRC_RDMA_FABRIC_H_

@@ -1,0 +1,65 @@
+#include "src/rdma/fair_link.h"
+
+#include "src/rdma/params.h"
+
+namespace adios {
+
+void FairLink::Enqueue(uint32_t flow, uint64_t bytes, DoneFn done) {
+  ADIOS_CHECK(flow < flows_.size());
+  const bool was_empty = flows_[flow].empty();
+  flows_[flow].push_back(Item{bytes, std::move(done)});
+  ++total_queued_;
+  if (discipline_ == Discipline::kFifo) {
+    // Global arrival order: every item gets its own service-order slot.
+    active_flows_.push_back(flow);
+  } else if (was_empty) {
+    active_flows_.push_back(flow);
+  }
+  if (!busy_) {
+    StartNext();
+  }
+}
+
+void FairLink::StartNext() {
+  ADIOS_DCHECK(!busy_);
+  if (active_flows_.empty()) {
+    return;
+  }
+  const uint32_t flow = active_flows_.front();
+  active_flows_.pop_front();
+  ADIOS_DCHECK(!flows_[flow].empty());
+  Item item = std::move(flows_[flow].front());
+  flows_[flow].pop_front();
+  --total_queued_;
+  if (discipline_ == Discipline::kRoundRobin && !flows_[flow].empty()) {
+    active_flows_.push_back(flow);  // Round-robin: back of the service order.
+  }
+
+  busy_ = true;
+  SimDuration service = fixed_ns_;
+  if (gbps_ > 0.0) {
+    service += FabricParams::SerializationNs(item.bytes, gbps_);
+  }
+  total_bytes_ += item.bytes;
+  ++total_items_;
+  engine_->Schedule(service, [this, done = std::move(item.done)]() mutable {
+    busy_ = false;
+    // Deliver before starting the next item so completion order is stable.
+    done();
+    if (!busy_) {
+      StartNext();
+    }
+  });
+}
+
+double FairLink::WindowUtilization() const {
+  const SimTime now = engine_->now();
+  if (now <= window_start_ || gbps_ <= 0.0) {
+    return 0.0;
+  }
+  const double bits = static_cast<double>(total_bytes_ - window_bytes_mark_) * 8.0;
+  const double seconds = static_cast<double>(now - window_start_) * 1e-9;
+  return bits / (gbps_ * 1e9 * seconds);
+}
+
+}  // namespace adios

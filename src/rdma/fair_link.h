@@ -1,0 +1,95 @@
+// FairLink: a serializing resource with per-flow round-robin service.
+//
+// Models both wire serialization and NIC engine stages. Each enqueued item
+// occupies the resource for `fixed_ns + bytes * 8 / gbps` of simulated time;
+// flows (QPs) with queued items are served one item at a time in round-robin
+// order, which is how RNICs arbitrate across QPs. Per-flow queue lengths are
+// observable — they are the congestion signal PF-aware dispatching uses.
+
+#ifndef ADIOS_SRC_RDMA_FAIR_LINK_H_
+#define ADIOS_SRC_RDMA_FAIR_LINK_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/sim/engine.h"
+
+namespace adios {
+
+class FairLink {
+ public:
+  using DoneFn = std::function<void()>;
+
+  // Service disciplines: per-flow round-robin (how RNICs arbitrate QPs) or a
+  // single global FIFO (the ablation baseline — no per-flow isolation).
+  enum class Discipline { kRoundRobin, kFifo };
+
+  // gbps <= 0 disables the bandwidth term (pure fixed-cost stage).
+  FairLink(Engine* engine, std::string name, double gbps, SimDuration fixed_ns = 0,
+           Discipline discipline = Discipline::kRoundRobin)
+      : engine_(engine),
+        name_(std::move(name)),
+        gbps_(gbps),
+        fixed_ns_(fixed_ns),
+        discipline_(discipline) {}
+
+  FairLink(const FairLink&) = delete;
+  FairLink& operator=(const FairLink&) = delete;
+
+  // Registers a flow (QP); returns its id.
+  uint32_t AddFlow() {
+    flows_.emplace_back();
+    return static_cast<uint32_t>(flows_.size() - 1);
+  }
+
+  // Queues an item for `flow`. `done` runs when the item finishes service.
+  void Enqueue(uint32_t flow, uint64_t bytes, DoneFn done);
+
+  size_t QueuedFor(uint32_t flow) const {
+    ADIOS_DCHECK(flow < flows_.size());
+    return flows_[flow].size();
+  }
+  size_t TotalQueued() const { return total_queued_; }
+  bool busy() const { return busy_; }
+
+  uint64_t total_bytes() const { return total_bytes_; }
+  uint64_t total_items() const { return total_items_; }
+
+  // Measurement-window helpers for utilization reporting.
+  void MarkWindow() {
+    window_bytes_mark_ = total_bytes_;
+    window_start_ = engine_->now();
+  }
+  // Payload-bit utilization of the link over the current window, in [0, 1].
+  double WindowUtilization() const;
+
+ private:
+  struct Item {
+    uint64_t bytes;
+    DoneFn done;
+  };
+
+  void StartNext();
+
+  Engine* engine_;
+  std::string name_;
+  double gbps_;
+  SimDuration fixed_ns_;
+  Discipline discipline_;
+  std::vector<std::deque<Item>> flows_;
+  std::deque<uint32_t> active_flows_;  // Flows with queued items, RR order.
+  size_t total_queued_ = 0;
+  bool busy_ = false;
+  uint64_t total_bytes_ = 0;
+  uint64_t total_items_ = 0;
+  uint64_t window_bytes_mark_ = 0;
+  SimTime window_start_ = 0;
+};
+
+}  // namespace adios
+
+#endif  // ADIOS_SRC_RDMA_FAIR_LINK_H_

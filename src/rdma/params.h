@@ -1,0 +1,64 @@
+// Calibration constants for the simulated RDMA fabric.
+//
+// Values are chosen so an unloaded 4 KB one-sided READ completes in ~2.5 us,
+// matching the 2-3 us the paper reports for 100 GbE ConnectX-class NICs
+// (§2.3, §3, [29, 64, 66]), and so WQE processing caps the NIC at a few
+// million ops/s (the NIC-bound regime discussed for Memcached in §5.2).
+
+#ifndef ADIOS_SRC_RDMA_PARAMS_H_
+#define ADIOS_SRC_RDMA_PARAMS_H_
+
+#include <cstdint>
+
+#include "src/base/time.h"
+
+namespace adios {
+
+struct FabricParams {
+  // Link speed per direction (the testbed uses 100 GbE everywhere).
+  double link_gbps = 100.0;
+
+  // Propagation + switching per direction.
+  SimDuration wire_latency_ns = 400;
+
+  // NIC requester processing per WQE (doorbell, WQE fetch, address
+  // translation). One engine, round-robin across QPs: caps the NIC at
+  // 1e9/this ops per second (§5.2's "NIC could not match the host").
+  SimDuration wqe_process_ns = 195;
+
+  // Memory-node-side DMA read/write of a 4 KB page (PCIe round trip).
+  SimDuration remote_dma_ns = 1200;
+
+  // Compute-node-side DMA of a transmit payload from host memory (PCIe),
+  // part of every Raw-Ethernet send before serialization. Determines how
+  // long a synchronous sender busy-waits for its TX CQE (Fig. 9).
+  SimDuration tx_dma_ns = 1200;
+
+  // Completion write-back + detection by polling.
+  SimDuration cqe_deliver_ns = 300;
+
+  // Per-message wire overhead (Ethernet + RoCE headers).
+  uint32_t header_bytes = 66;
+
+  // Send-queue depth per QP; posting fails when this many WQEs are in flight.
+  uint32_t qp_depth = 128;
+
+  // Ablation: serve the shared links in global FIFO order instead of
+  // per-QP round-robin (removes the per-flow isolation PF-aware dispatching
+  // relies on).
+  bool fifo_links = false;
+
+  // Client-facing link (load generator <-> compute node), same class of
+  // hardware in the testbed.
+  double client_link_gbps = 100.0;
+  SimDuration client_wire_latency_ns = 500;
+
+  // Nanoseconds to serialize `bytes` on a `gbps` link.
+  static SimDuration SerializationNs(uint64_t bytes, double gbps) {
+    return static_cast<SimDuration>(static_cast<double>(bytes) * 8.0 / gbps + 0.5);
+  }
+};
+
+}  // namespace adios
+
+#endif  // ADIOS_SRC_RDMA_PARAMS_H_

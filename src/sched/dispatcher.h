@@ -1,0 +1,85 @@
+// Dispatcher: the single-queue FCFS request distributor (paper §3.4).
+//
+// One pinned core receives client packets, keeps the central queue, and
+// assigns requests to idle workers. Implements:
+//  - single queueing (centralized FCFS, no work stealing);
+//  - PF-aware dispatching (Algorithm 1): among idle workers, those with the
+//    fewest outstanding page fetches on their RDMA QP are served first;
+//  - polling delegation: workers' transmit completions are raised in the
+//    dispatcher's CQ, which recycles the unithread buffers while it polls
+//    for incoming packets anyway.
+
+#ifndef ADIOS_SRC_SCHED_DISPATCHER_H_
+#define ADIOS_SRC_SCHED_DISPATCHER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "src/base/ring_buffer.h"
+#include "src/rdma/completion.h"
+#include "src/sched/config.h"
+#include "src/sched/worker.h"
+#include "src/sim/cpu_core.h"
+#include "src/sim/trace.h"
+#include "src/sim/wait_queue.h"
+#include "src/unithread/universal_stack.h"
+
+namespace adios {
+
+class Dispatcher {
+ public:
+  using DropFn = std::function<void(Request*)>;
+
+  struct Stats {
+    uint64_t received = 0;
+    uint64_t dropped = 0;       // RX ring overflow.
+    uint64_t dispatched = 0;    // Requests handed to workers.
+    uint64_t buffers_recycled = 0;
+    uint64_t max_queue_depth = 0;
+  };
+
+  Dispatcher(Engine* engine, CpuCore* core, UnithreadPool* pool, CompletionQueue* cq,
+             std::vector<Worker*> workers, const SchedConfig& config, DropFn on_drop);
+
+  // Spawns the dispatcher fiber.
+  void Start();
+
+  // Packet arrival from the client link (called in event context).
+  void OnRx(Request* req);
+
+  // Wakes the dispatcher loop (worker mailbox freed, buffers returned, ...).
+  void Poke() { events_.NotifyAll(); }
+
+  CompletionQueue* cq() { return cq_; }
+  const Stats& stats() const { return stats_; }
+  size_t queue_depth() const { return queue_.size() + rx_ring_.size(); }
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
+ private:
+  void Loop();
+  size_t RecycleTxCompletions();
+  size_t DrainRxRing();
+  bool DispatchSome();
+
+  Engine* engine_;
+  CpuCore* core_;
+  UnithreadPool* pool_;
+  CompletionQueue* cq_;
+  std::vector<Worker*> workers_;
+  SchedConfig cfg_;
+  DropFn on_drop_;
+
+  Tracer* tracer_ = nullptr;
+  RingBuffer<Request*> rx_ring_;
+  std::deque<Request*> queue_;  // The single centralized FCFS queue.
+  WaitQueue events_;
+  uint32_t rr_cursor_ = 0;
+  std::vector<Worker*> idle_scratch_;
+  Stats stats_;
+};
+
+}  // namespace adios
+
+#endif  // ADIOS_SRC_SCHED_DISPATCHER_H_

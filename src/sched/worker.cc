@@ -1,0 +1,454 @@
+#include "src/sched/worker.h"
+
+#include "src/sched/dispatcher.h"
+
+namespace adios {
+
+Worker::Worker(uint32_t index, Engine* engine, CpuCore* core, MemoryManager* mm,
+               UnithreadPool* pool, QueuePair* mem_qp, QueuePair* client_qp,
+               const SchedConfig& config, HandlerFn handler, ReplyFn on_reply)
+    : index_(index),
+      engine_(engine),
+      core_(core),
+      mm_(mm),
+      pool_(pool),
+      mem_qp_(mem_qp),
+      client_qp_(client_qp),
+      cfg_(config),
+      handler_(std::move(handler)),
+      on_reply_(std::move(on_reply)),
+      events_(engine),
+      mem_cq_wait_(engine),
+      client_cq_wait_(engine),
+      prefetcher_(config.prefetch_window),
+      rng_(config.seed * 7919 + index) {
+  mem_qp_->cq()->set_on_push([this] {
+    mem_cq_wait_.NotifyAll();
+    events_.NotifyAll();
+  });
+  if (!cfg_.polling_delegation) {
+    client_qp_->cq()->set_on_push([this] { client_cq_wait_.NotifyAll(); });
+  }
+}
+
+void Worker::Start() {
+  Fiber* fiber = engine_->SpawnFiber("worker-" + std::to_string(index_), [this] { Loop(); });
+  fiber_ctx_ = fiber->ctx();
+}
+
+void Worker::Assign(RunItem* item) {
+  ADIOS_DCHECK(CanAccept());
+  assigned_q_.push_back(item);
+  events_.NotifyAll();
+}
+
+RunItem* Worker::TrySteal() {
+  Worker* victim = nullptr;
+  size_t most = 0;
+  for (Worker* peer : peers_) {
+    if (peer != this && peer->assigned_q_.size() > most) {
+      most = peer->assigned_q_.size();
+      victim = peer;
+    }
+  }
+  if (victim == nullptr) {
+    return nullptr;
+  }
+  ++steals_;
+  // Steal the newest unstarted request: the victim keeps FIFO order for the
+  // items it will serve itself.
+  RunItem* item = victim->assigned_q_.back();
+  victim->assigned_q_.pop_back();
+  ADIOS_DCHECK(!item->started);
+  return item;
+}
+
+void Worker::EnqueueReady(RunItem* item) {
+  ready_.push_back(item);
+  events_.NotifyAll();
+}
+
+void Worker::UnithreadMain(void* arg) {
+  auto* item = static_cast<RunItem*>(arg);
+  Worker* worker = item->home;
+  ADIOS_CHECK(worker != nullptr);
+  worker->handler_(item->req, *worker);
+}
+
+void Worker::Loop() {
+  for (;;) {
+    core_->Consume(cfg_.worker_loop_cycles);
+    // Poll the NIC's queue once before starting new unithreads (Fig. 5,
+    // step 7's precondition).
+    DrainMemCq();
+    if (!ready_.empty()) {
+      RunItem* item = ready_.front();
+      ready_.pop_front();
+      RunItemNow(item);
+      continue;
+    }
+    // Fresh requests and preempted unithreads alternate (Shinjuku-style
+    // FIFO approximation): a preempted task gives way to at most one newer
+    // request per round, so it cannot starve under sustained load.
+    const bool run_preempted =
+        !preempted_.empty() && (assigned_q_.empty() || prefer_preempted_);
+    if (run_preempted) {
+      RunItem* item = preempted_.front();
+      preempted_.pop_front();
+      prefer_preempted_ = false;
+      RunItemNow(item);
+      continue;
+    }
+    if (!assigned_q_.empty()) {
+      RunItem* item = assigned_q_.front();
+      assigned_q_.pop_front();
+      prefer_preempted_ = true;
+      dispatcher_->Poke();  // Mailbox capacity freed.
+      RunItemNow(item);
+      continue;
+    }
+    if (cfg_.dispatch_policy == DispatchPolicy::kWorkStealing) {
+      core_->Consume(cfg_.steal_cycles);  // Peer-queue scan (§3.4's objection).
+      RunItem* stolen = TrySteal();
+      if (stolen != nullptr) {
+        RunItemNow(stolen);
+        continue;
+      }
+    }
+    events_.Wait();
+  }
+}
+
+void Worker::RunItemNow(RunItem* item) {
+  ADIOS_DCHECK(running_ == nullptr);
+  running_ = item;
+  item->home = this;
+  UnithreadContext* ctx = item->ctx();
+  ctx->parent = fiber_ctx_;
+  core_->Consume(cfg_.fault_policy == FaultPolicy::kKernelYield ? cfg_.kernel_ctx_switch_cycles
+                                                                : cfg_.ctx_switch_cycles);
+  if (!item->started) {
+    item->started = true;
+    item->req->start_time = engine_->now();
+    if (cfg_.kernel_request_extra_cycles > 0) {
+      // Kernel-based system: socket/syscall RX path before the handler runs.
+      core_->Consume(cfg_.kernel_request_extra_cycles);
+    }
+  }
+  item->quantum_start = engine_->now();
+  if (tracer_ != nullptr) {
+    tracer_->Record(engine_->now(), item->req->id,
+                    item->ctx()->switch_count == 0 ? TraceEvent::kStart : TraceEvent::kResume,
+                    index_);
+  }
+  ctx->state = ContextState::kRunning;
+  ++ctx->switch_count;
+  engine_->RawSwitch(fiber_ctx_, ctx);
+  running_ = nullptr;
+  if (ctx->finished()) {
+    FinishRequest(item);
+  } else {
+    ++yields_;
+  }
+}
+
+void Worker::FinishRequest(RunItem* item) {
+  Request* req = item->req;
+  if (cfg_.kernel_jitter_prob > 0.0 && rng_.NextBool(cfg_.kernel_jitter_prob)) {
+    // Background kernel interference (timer ticks, softirqs, kswapd):
+    // occasionally a request is held up for tens of microseconds.
+    core_->Consume(rng_.NextInRange(cfg_.kernel_jitter_min_cycles,
+                                    cfg_.kernel_jitter_max_cycles));
+  }
+  if (cfg_.kernel_request_extra_cycles > 0) {
+    core_->Consume(cfg_.kernel_request_extra_cycles);  // Kernel TX path.
+  }
+  core_->Consume(cfg_.tx_post_cycles);
+
+  const uint32_t buffer_index = item->ctx()->id;
+  Request* reqp = req;
+  auto on_delivered = [cb = on_reply_, reqp] { cb(reqp); };
+  while (!client_qp_->PostSend(req->reply_bytes, buffer_index, on_delivered)) {
+    // Client QP saturated; retry shortly (outstanding drains by itself).
+    engine_->Wait(200);
+  }
+  ++completed_;
+
+  if (!cfg_.polling_delegation) {
+    // Synchronous transmission: busy-wait for our send CQE, then recycle the
+    // buffer ourselves. This is the HOL-blocking path Fig. 9 quantifies.
+    const SimTime t0 = engine_->now();
+    const uint64_t busy0 = core_->busy_ns();
+    CompletionQueue* cq = client_qp_->cq();
+    bool seen = false;
+    std::vector<Completion> batch(cfg_.cq_poll_batch);
+    while (!seen) {
+      const size_t n = cq->Poll(batch.size(), batch.begin());
+      if (n == 0) {
+        client_cq_wait_.Wait();
+        continue;
+      }
+      core_->Consume(cfg_.poll_cqe_cycles * n);
+      for (size_t i = 0; i < n; ++i) {
+        ADIOS_DCHECK(batch[i].type == WorkType::kSend);
+        if (batch[i].wr_id == buffer_index) {
+          seen = true;
+        }
+        pool_->Release(pool_->FromIndex(static_cast<uint32_t>(batch[i].wr_id)));
+      }
+    }
+    const SimDuration waited = engine_->now() - t0;
+    const uint64_t consumed = core_->busy_ns() - busy0;  // Poll cycles already counted.
+    core_->AccountBusyWait(waited > consumed ? waited - consumed : 0);
+    req->tx_wait_ns += waited;
+    dispatcher_->Poke();  // Buffers returned; the dispatcher may proceed.
+  }
+  // With polling delegation, the dispatcher recycles the buffer when it
+  // polls the delegated send completion.
+  // The request occupies the worker until here (synchronous TX included).
+  req->finish_time = engine_->now();
+  if (tracer_ != nullptr) {
+    tracer_->Record(engine_->now(), req->id, TraceEvent::kDone, index_);
+  }
+}
+
+void Worker::Access(RemoteAddr addr, uint64_t len, bool write) {
+  ADIOS_DCHECK(running_ != nullptr);
+  ADIOS_DCHECK(len > 0);
+  const uint64_t first = mm_->PageOfAddr(addr);
+  const uint64_t last = mm_->PageOfAddr(addr + len - 1);
+  for (uint64_t p = first; p <= last; ++p) {
+    AccessPage(p, write);
+  }
+}
+
+void Worker::AccessPage(uint64_t vpage, bool write) {
+  // Every cycle charge is a suspension point during which other handlers can
+  // change the page's state, so the state is re-examined after each one.
+  //
+  // Pinning discipline: the page is pinned only from fetch-waiter
+  // registration until the post-resume re-check. A fetch waiter is made
+  // ready at the very moment its page maps, so a pinned present page always
+  // has a runnable pinner — which guarantees the reclaimer regains an
+  // evictable page. (Pinning across the *frame* wait instead would let a
+  // sleeping frame-waiter pin a page another handler fetched, wedging
+  // eviction entirely under extreme pressure.)
+  for (;;) {
+    switch (mm_->StateOf(vpage)) {
+      case PageState::kPresent:
+        // MMU hit: free.
+        mm_->Touch(vpage, write);
+        return;
+      case PageState::kFetching:
+        // Another handler's fetch is in flight; trap, then coalesce onto it
+        // (unless it mapped while we were trapping).
+        core_->Consume(cfg_.fault_entry_cycles);
+        if (mm_->StateOf(vpage) == PageState::kFetching) {
+          ++mm_->stats().shared_faults;
+          ++running_->req->faults;
+          mm_->Pin(vpage);
+          BlockOnFetch(vpage);
+          mm_->Unpin(vpage);
+        }
+        continue;
+      case PageState::kRemote: {
+        core_->Consume(cfg_.fault_entry_cycles + cfg_.kernel_fault_extra_cycles);
+        if (mm_->StateOf(vpage) != PageState::kRemote) {
+          continue;  // Raced with another fault during the trap.
+        }
+        WaitForFreeFrame();
+        if (mm_->StateOf(vpage) != PageState::kRemote) {
+          continue;
+        }
+        core_->Consume(cfg_.frame_alloc_cycles);
+        if (mm_->StateOf(vpage) != PageState::kRemote) {
+          continue;
+        }
+        if (!mm_->HasFreeFrame()) {
+          continue;  // Another handler took the last frame during the charge.
+        }
+        mm_->BeginFetch(vpage);  // No suspension between the checks and here.
+        ++running_->req->faults;
+        if (tracer_ != nullptr) {
+          tracer_->Record(engine_->now(), running_->req->id, TraceEvent::kFault,
+                          static_cast<uint32_t>(vpage));
+        }
+        mm_->Pin(vpage);
+        PostReadWithBackpressure(vpage);
+        if (cfg_.prefetch_window > 0) {
+          prefetch_scratch_.clear();
+          prefetcher_.OnFault(vpage, mm_, &prefetch_scratch_);
+          for (const uint64_t q : prefetch_scratch_) {
+            PostReadWithBackpressure(q);
+          }
+        }
+        BlockOnFetch(vpage);
+        mm_->Unpin(vpage);
+        continue;  // Re-check: maps on completion, so this hits kPresent.
+      }
+    }
+  }
+}
+
+void Worker::WaitForFreeFrame() {
+  if (mm_->HasFreeFrame()) {
+    return;
+  }
+  ++mm_->stats().frame_stalls;
+  const bool busy_policy = cfg_.fault_policy == FaultPolicy::kBusyWait ||
+                           cfg_.fault_policy == FaultPolicy::kKernelBusyWait;
+  if (!busy_policy) {
+    // Yield policies: pause this unithread and return to the worker loop.
+    // Holding the worker here would deadlock under extreme pressure: the
+    // frames may all be pinned by *ready* unithreads that only this worker
+    // can resume (and whose touches make their pages evictable again).
+    RunItem* item = running_;
+    while (!mm_->HasFreeFrame()) {
+      DrainMemCq();
+      if (mm_->HasFreeFrame()) {
+        break;
+      }
+      mm_->AddFrameWaiter([item] { item->home->EnqueueReady(item); });
+      core_->Consume(cfg_.ctx_switch_cycles);
+      UnithreadContext* ctx = item->ctx();
+      ctx->state = ContextState::kBlocked;
+      engine_->RawSwitch(ctx, item->home->fiber_ctx_);
+      // Resumed on a frame release; re-check (it may be gone again).
+    }
+    return;
+  }
+  // Busy-waiting policies run one request per worker to completion, so the
+  // handler legitimately spins; draining the CQ keeps fetched pages mapping
+  // (and thus evictable) meanwhile.
+  const SimTime t0 = engine_->now();
+  const uint64_t busy0 = core_->busy_ns();
+  while (!mm_->HasFreeFrame()) {
+    DrainMemCq();
+    if (mm_->HasFreeFrame()) {
+      break;
+    }
+    engine_->Wait(500);
+  }
+  const SimDuration waited = engine_->now() - t0;
+  const uint64_t consumed = core_->busy_ns() - busy0;
+  core_->AccountBusyWait(waited > consumed ? waited - consumed : 0);
+  running_->req->busy_wait_ns += waited;
+}
+
+void Worker::PostReadWithBackpressure(uint64_t vpage) {
+  core_->Consume(cfg_.post_read_cycles);
+  while (!mem_qp_->PostRead(mm_->page_bytes(), vpage)) {
+    // QP send queue is full (§5.2: "page fault handlers must pause, waiting
+    // for available slots in the QPs").
+    ++qp_full_stalls_;
+    if (DrainMemCq() == 0) {
+      mem_cq_wait_.Wait();
+    }
+  }
+}
+
+size_t Worker::DrainMemCq() {
+  CompletionQueue* cq = mem_qp_->cq();
+  size_t total = 0;
+  std::vector<Completion> batch(cfg_.cq_poll_batch);
+  for (;;) {
+    const size_t n = cq->Poll(batch.size(), batch.begin());
+    if (n == 0) {
+      break;
+    }
+    core_->Consume((cfg_.poll_cqe_cycles + cfg_.map_page_cycles) * n);
+    for (size_t i = 0; i < n; ++i) {
+      ADIOS_DCHECK(batch[i].type == WorkType::kRead);
+      mm_->CompleteFetch(batch[i].wr_id);
+    }
+    total += n;
+  }
+  return total;
+}
+
+void Worker::BlockOnFetch(uint64_t vpage) {
+  RunItem* item = running_;
+  Request* req = item->req;
+  const SimTime t0 = engine_->now();
+
+  if (cfg_.fault_policy == FaultPolicy::kYield ||
+      cfg_.fault_policy == FaultPolicy::kKernelYield) {
+    // Adios (Fig. 5 steps 4-5, 8-10): register the continuation and switch
+    // back to the worker loop; the fetch completes in the background. The
+    // waiter is registered *before* the switch-cost charge: if the page maps
+    // during the charge, EnqueueReady simply queues us ahead of the switch,
+    // and the worker resumes us right after we yield.
+    //
+    // Kernel-yield (Infiniswap-class): the same flow, but the switch is a
+    // kernel-thread switch and the wake-up goes through the kernel
+    // scheduler, adding kernel_sched_delay before the resume.
+    if (cfg_.fault_policy == FaultPolicy::kKernelYield) {
+      Engine* engine = engine_;
+      const SimDuration delay = cfg_.kernel_sched_delay_ns;
+      mm_->AddFetchWaiter(vpage, [engine, delay, item] {
+        engine->Schedule(delay, [item] { item->home->EnqueueReady(item); });
+      });
+      core_->Consume(cfg_.kernel_ctx_switch_cycles);
+    } else {
+      mm_->AddFetchWaiter(vpage, [this, item] {
+        if (tracer_ != nullptr) {
+          tracer_->Record(engine_->now(), item->req->id, TraceEvent::kFetchDone);
+        }
+        item->home->EnqueueReady(item);
+      });
+      core_->Consume(cfg_.ctx_switch_cycles + cfg_.yield_bookkeeping_cycles);
+    }
+    UnithreadContext* ctx = item->ctx();
+    ctx->state = ContextState::kBlocked;
+    engine_->RawSwitch(ctx, item->home->fiber_ctx_);
+    // Resumed by RunItemNow once the page was mapped.
+  } else {
+    // DiLOS/Hermit: spin on the CQ until this fetch maps. The waiter flag
+    // also covers the cross-worker case (our page fetched by another QP).
+    const uint64_t busy0 = core_->busy_ns();
+    bool done = false;
+    mm_->AddFetchWaiter(vpage, [this, &done] {
+      done = true;
+      mem_cq_wait_.NotifyAll();
+    });
+    while (!done) {
+      DrainMemCq();
+      if (!done) {
+        mem_cq_wait_.Wait();
+      }
+    }
+    const SimDuration waited = engine_->now() - t0;
+    const uint64_t consumed = core_->busy_ns() - busy0;  // Poll/map cycles counted already.
+    core_->AccountBusyWait(waited > consumed ? waited - consumed : 0);
+    req->busy_wait_ns += waited;
+  }
+  req->rdma_wait_ns += engine_->now() - t0;
+}
+
+void Worker::MaybePreempt() {
+  if (!cfg_.preemption || running_ == nullptr) {
+    return;
+  }
+  core_->Consume(cfg_.preempt_check_cycles);
+  RunItem* item = running_;
+  if (engine_->now() - item->quantum_start < cfg_.preempt_interval_ns) {
+    return;
+  }
+  // Quantum expired: requeue at the *lowest* priority on this worker (fresh
+  // requests run first, approximating processor sharing) and return to the
+  // worker loop. The unithread stays on its home worker: its handler holds a
+  // reference to this worker's API, and its faults post on this worker's QP.
+  ++item->req->preemptions;
+  ++preempt_fires_;
+  if (tracer_ != nullptr) {
+    tracer_->Record(engine_->now(), item->req->id, TraceEvent::kPreempt, index_);
+  }
+  core_->Consume(cfg_.preempt_switch_cycles);
+  UnithreadContext* ctx = item->ctx();
+  ctx->state = ContextState::kRunnable;
+  preempted_.push_back(item);
+  engine_->RawSwitch(ctx, fiber_ctx_);
+  // Resumed when the worker loop reaches the preempted queue again.
+}
+
+}  // namespace adios

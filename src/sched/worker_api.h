@@ -1,0 +1,66 @@
+// The execution API application request handlers code against.
+//
+// Handlers run on unithreads; every remote-memory access flows through
+// Access(), which is where page faults happen. Typed Read/Write helpers
+// combine the fault check with a real data transfer from the backing
+// RemoteRegion, so application data structures are genuinely traversed.
+
+#ifndef ADIOS_SRC_SCHED_WORKER_API_H_
+#define ADIOS_SRC_SCHED_WORKER_API_H_
+
+#include <cstdint>
+
+#include "src/base/rng.h"
+#include "src/mem/remote_heap.h"
+#include "src/sched/request.h"
+
+namespace adios {
+
+class WorkerApi {
+ public:
+  virtual ~WorkerApi() = default;
+
+  // Declares an access to remote-heap bytes [addr, addr+len). Faults and
+  // blocks (per the system's fault policy) for every non-resident page
+  // spanned. Resident pages cost nothing — the MMU check is free.
+  virtual void Access(RemoteAddr addr, uint64_t len, bool write) = 0;
+
+  // Models `cycles` of computation on the current core.
+  virtual void Compute(uint64_t cycles) = 0;
+
+  // Concord-style preemption probe; no-op unless preemption is enabled.
+  // Long-running handlers (scans, batch work) call this inside their loops.
+  virtual void MaybePreempt() = 0;
+
+  virtual RemoteRegion* region() = 0;
+  virtual Request* request() = 0;
+  virtual Rng& rng() = 0;
+
+  // --- Typed remote-memory helpers ---
+
+  template <typename T>
+  T Read(RemoteAddr addr) {
+    Access(addr, sizeof(T), false);
+    return region()->template ReadObject<T>(addr);
+  }
+
+  template <typename T>
+  void Write(RemoteAddr addr, const T& value) {
+    Access(addr, sizeof(T), true);
+    region()->WriteObject(addr, value);
+  }
+
+  void ReadBytes(RemoteAddr addr, void* dst, uint64_t len) {
+    Access(addr, len, false);
+    region()->ReadBytes(addr, dst, len);
+  }
+
+  void WriteBytes(RemoteAddr addr, const void* src, uint64_t len) {
+    Access(addr, len, true);
+    region()->WriteBytes(addr, src, len);
+  }
+};
+
+}  // namespace adios
+
+#endif  // ADIOS_SRC_SCHED_WORKER_API_H_

@@ -1,0 +1,103 @@
+#include "src/sim/engine.h"
+
+namespace adios {
+
+Fiber::Fiber(Engine* engine, std::string name, std::function<void()> fn, size_t stack_bytes)
+    : name_(std::move(name)), fn_(std::move(fn)), stack_(stack_bytes) {
+  ADIOS_CHECK(stack_bytes >= 4096);
+  ctx_.Reset(stack_.data(), stack_.size(), &Fiber::Entry, this, engine->main_context());
+}
+
+void Fiber::Entry(void* arg) {
+  auto* fiber = static_cast<Fiber*>(arg);
+  fiber->fn_();
+}
+
+Engine::Engine() = default;
+
+Engine::~Engine() = default;
+
+void Engine::ScheduleAt(SimTime when, std::function<void()> fn) {
+  ADIOS_DCHECK(when >= now_);
+  queue_.push(Event{when, next_seq_++, std::move(fn), nullptr});
+}
+
+Engine::EventHandle Engine::ScheduleCancellable(SimDuration delay, std::function<void()> fn) {
+  EventHandle handle;
+  handle.alive_ = std::make_shared<bool>(true);
+  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn), handle.alive_});
+  return handle;
+}
+
+void Engine::Dispatch(Event& ev) {
+  if (ev.alive != nullptr && !*ev.alive) {
+    return;
+  }
+  if (ev.alive != nullptr) {
+    *ev.alive = false;  // Fired events are no longer pending.
+  }
+  ++events_processed_;
+  ev.fn();
+}
+
+void Engine::Run() { RunUntil(~0ull); }
+
+void Engine::RunUntil(SimTime until) {
+  ADIOS_CHECK(on_main());
+  ADIOS_CHECK(!running_);
+  running_ = true;
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    if (queue_.top().when > until) {
+      now_ = until;
+      running_ = false;
+      return;
+    }
+    // priority_queue::top() is const; the event is moved out via const_cast,
+    // which is safe because pop() follows immediately.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    ADIOS_DCHECK(ev.when >= now_);
+    now_ = ev.when;
+    Dispatch(ev);
+  }
+  if (until != ~0ull && now_ < until) {
+    now_ = until;
+  }
+  running_ = false;
+}
+
+Fiber* Engine::SpawnFiber(std::string name, std::function<void()> fn, size_t stack_bytes) {
+  fibers_.push_back(std::make_unique<Fiber>(this, std::move(name), std::move(fn), stack_bytes));
+  Fiber* fiber = fibers_.back().get();
+  Schedule(0, [this, fiber] { RawSwitch(current_, fiber->ctx()); });
+  return fiber;
+}
+
+void Engine::Wait(SimDuration d) {
+  ADIOS_CHECK(!on_main());
+  UnithreadContext* self = current_;
+  self->state = ContextState::kBlocked;
+  Schedule(d, [this, self] {
+    self->state = ContextState::kRunning;
+    RawSwitch(current_, self);
+  });
+  RawSwitch(self, &main_ctx_);
+}
+
+void Engine::SuspendCurrent() {
+  ADIOS_CHECK(!on_main());
+  UnithreadContext* self = current_;
+  self->state = ContextState::kBlocked;
+  RawSwitch(self, &main_ctx_);
+}
+
+void Engine::ResumeLater(UnithreadContext* ctx, SimDuration delay) {
+  ADIOS_DCHECK(ctx != nullptr);
+  Schedule(delay, [this, ctx] {
+    ctx->state = ContextState::kRunning;
+    RawSwitch(current_, ctx);
+  });
+}
+
+}  // namespace adios

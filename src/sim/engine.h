@@ -1,0 +1,162 @@
+// Discrete-event simulation engine with unithread-fiber integration.
+//
+// The engine owns a virtual clock (integer nanoseconds) and a deterministic
+// event queue (ties broken by insertion order). Simulated actors — CPU core
+// loops, the load generator, NIC engines — either run as plain scheduled
+// callbacks or as *fibers*: real unithread contexts that can suspend at a
+// simulated time (`Wait`) or until another actor resumes them.
+//
+// Context discipline: the engine tracks the currently executing context.
+// Every switch site must go through RawSwitch()/SwitchToMain() so the
+// tracking stays correct; after any AdiosContextSwitch(from, to) returns,
+// the code is executing as `from` again and current is restored to it.
+// Application unithreads managed by the MD scheduler are entered from worker
+// fibers with RawSwitch, so a fault handler deep inside application code can
+// still Wait() on the engine and be resumed later.
+
+#ifndef ADIOS_SRC_SIM_ENGINE_H_
+#define ADIOS_SRC_SIM_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/base/time.h"
+#include "src/unithread/context.h"
+
+namespace adios {
+
+class Engine;
+
+// A simulated long-lived actor (dispatcher loop, worker loop, reclaimer,
+// NIC engine) running on its own real stack.
+class Fiber {
+ public:
+  Fiber(Engine* engine, std::string name, std::function<void()> fn, size_t stack_bytes);
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  UnithreadContext* ctx() { return &ctx_; }
+  const std::string& name() const { return name_; }
+  bool finished() const { return ctx_.finished(); }
+
+ private:
+  friend class Engine;
+  static void Entry(void* arg);
+
+  std::string name_;
+  std::function<void()> fn_;
+  std::vector<std::byte> stack_;
+  UnithreadContext ctx_;
+};
+
+class Engine {
+ public:
+  Engine();
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // --- Event API (usable from anywhere) ---
+
+  void Schedule(SimDuration delay, std::function<void()> fn) {
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
+  void ScheduleAt(SimTime when, std::function<void()> fn);
+
+  // Cancellable variant; destroying or Cancel()ing the handle skips the event.
+  class EventHandle {
+   public:
+    EventHandle() = default;
+    void Cancel() {
+      if (alive_) {
+        *alive_ = false;
+      }
+    }
+    bool pending() const { return alive_ && *alive_; }
+
+   private:
+    friend class Engine;
+    std::shared_ptr<bool> alive_;
+  };
+  EventHandle ScheduleCancellable(SimDuration delay, std::function<void()> fn);
+
+  // Runs events until the queue empties or Stop() is called.
+  void Run();
+  // Runs events with time <= until; leaves later events queued and sets
+  // now() to `until` when the horizon is reached.
+  void RunUntil(SimTime until);
+  void Stop() { stopped_ = true; }
+
+  // --- Fiber API ---
+
+  // Creates a fiber and schedules its first run at the current time.
+  Fiber* SpawnFiber(std::string name, std::function<void()> fn,
+                    size_t stack_bytes = kDefaultFiberStack);
+
+  // From inside any engine-managed context: suspend for `d` simulated time.
+  void Wait(SimDuration d);
+
+  // From inside any engine-managed context: suspend until resumed.
+  void SuspendCurrent();
+
+  // Schedules `ctx` to resume after `delay`. Must not double-resume.
+  void ResumeLater(UnithreadContext* ctx, SimDuration delay = 0);
+
+  // Low-level switch that keeps current-context tracking coherent. `from`
+  // must be the currently executing context.
+  void RawSwitch(UnithreadContext* from, UnithreadContext* to) {
+    ADIOS_DCHECK(from == current_);
+    current_ = to;
+    AdiosContextSwitch(from, to);
+    current_ = from;
+  }
+
+  UnithreadContext* current_context() { return current_; }
+  UnithreadContext* main_context() { return &main_ctx_; }
+  bool on_main() const { return current_ == &main_ctx_; }
+
+  uint64_t events_processed() const { return events_processed_; }
+
+  static constexpr size_t kDefaultFiberStack = 256 * 1024;
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> alive;  // Null for non-cancellable events.
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  void Dispatch(Event& ev);
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+  bool stopped_ = false;
+  bool running_ = false;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  UnithreadContext main_ctx_;
+  UnithreadContext* current_ = &main_ctx_;
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+};
+
+}  // namespace adios
+
+#endif  // ADIOS_SRC_SIM_ENGINE_H_

@@ -1,0 +1,61 @@
+#include "src/sim/trace.h"
+
+namespace adios {
+
+const char* TraceEventName(TraceEvent ev) {
+  switch (ev) {
+    case TraceEvent::kArrive:
+      return "arrive";
+    case TraceEvent::kDispatch:
+      return "dispatch";
+    case TraceEvent::kStart:
+      return "start";
+    case TraceEvent::kFault:
+      return "fault";
+    case TraceEvent::kFetchDone:
+      return "fetch-done";
+    case TraceEvent::kResume:
+      return "resume";
+    case TraceEvent::kPreempt:
+      return "preempt";
+    case TraceEvent::kDone:
+      return "done";
+  }
+  return "?";
+}
+
+std::vector<TraceRecord> Tracer::ForRequest(uint64_t request_id) const {
+  std::vector<TraceRecord> out;
+  for (const auto& r : records_) {
+    if (r.request_id == request_id) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+void Tracer::PrintTimeline(uint64_t request_id, std::FILE* out) const {
+  const auto events = ForRequest(request_id);
+  if (events.empty()) {
+    std::fprintf(out, "request %llu: no trace records\n",
+                 static_cast<unsigned long long>(request_id));
+    return;
+  }
+  const SimTime t0 = events.front().time;
+  std::fprintf(out, "request %llu timeline:\n", static_cast<unsigned long long>(request_id));
+  SimTime prev = t0;
+  for (const auto& e : events) {
+    std::fprintf(out, "  +%8.2f us (%+7.2f)  %-10s", static_cast<double>(e.time - t0) / 1000.0,
+                 static_cast<double>(e.time - prev) / 1000.0, TraceEventName(e.event));
+    if (e.event == TraceEvent::kDispatch || e.event == TraceEvent::kStart ||
+        e.event == TraceEvent::kResume) {
+      std::fprintf(out, " worker=%u", e.arg);
+    } else if (e.event == TraceEvent::kFault) {
+      std::fprintf(out, " page=%u", e.arg);
+    }
+    std::fprintf(out, "\n");
+    prev = e.time;
+  }
+}
+
+}  // namespace adios

@@ -1,0 +1,112 @@
+#include "src/unithread/context.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/base/check.h"
+
+namespace adios {
+namespace {
+
+constexpr uint32_t kDefaultMxcsr = 0x1f80;  // All exceptions masked.
+constexpr uint16_t kDefaultFpucw = 0x037f;  // x87 default control word.
+
+// Offsets inside the fxsave64 image.
+constexpr size_t kFxsaveFcwOffset = 0;
+constexpr size_t kFxsaveMxcsrOffset = 24;
+constexpr size_t kFxsaveMxcsrMaskOffset = 28;
+
+}  // namespace
+
+extern "C" void AdiosContextEntryThunk();
+extern "C" void AdiosHeavyEntryThunk();
+
+// Called (via the asm thunk) the first time a fresh context runs.
+extern "C" [[noreturn]] void AdiosUnithreadTrampoline(UnithreadContext* ctx) {
+  ADIOS_CHECK(ctx != nullptr);
+  ADIOS_CHECK(ctx->entry != nullptr);
+  ctx->state = ContextState::kRunning;
+  ctx->entry(ctx->arg);
+  ctx->state = ContextState::kFinished;
+  ADIOS_CHECK(ctx->parent != nullptr);
+  // One-way switch: the dying context's rsp slot is reused as scratch.
+  AdiosContextSwitch(ctx, ctx->parent);
+  std::fprintf(stderr, "adios: finished unithread context was resumed\n");
+  std::abort();
+}
+
+extern "C" [[noreturn]] void AdiosHeavyEntryTrampoline(ContextEntry entry, void* arg) {
+  ADIOS_CHECK(entry != nullptr);
+  entry(arg);
+  std::fprintf(stderr, "adios: heavy context entry returned (unsupported)\n");
+  std::abort();
+}
+
+void UnithreadContext::Reset(void* stack_low_addr, size_t size, ContextEntry entry_fn,
+                             void* entry_arg, UnithreadContext* parent_ctx) {
+  ADIOS_CHECK(stack_low_addr != nullptr);
+  ADIOS_CHECK(size >= 512);
+  ADIOS_CHECK(entry_fn != nullptr);
+
+  stack_low = stack_low_addr;
+  stack_size = size;
+  entry = entry_fn;
+  arg = entry_arg;
+  parent = parent_ctx;
+  state = ContextState::kRunnable;
+  switch_count = 0;
+
+  // 16-align the stack top; the thunk runs with rsp == top (ABI-conformant
+  // "before call" alignment).
+  uintptr_t top = reinterpret_cast<uintptr_t>(stack_low_addr) + size;
+  top &= ~static_cast<uintptr_t>(0xf);
+
+  // Fabricate the frame AdiosContextSwitch's restore path expects.
+  auto slot = [top](int i) { return reinterpret_cast<uint64_t*>(top - 8 * i); };
+  *slot(1) = reinterpret_cast<uint64_t>(&AdiosContextEntryThunk);  // ret target
+  *slot(2) = 0;                                                    // rbp
+  *slot(3) = 0;                                                    // rbx
+  *slot(4) = reinterpret_cast<uint64_t>(this);                     // r12 -> ctx
+  *slot(5) = 0;                                                    // r13
+  *slot(6) = 0;                                                    // r14
+  *slot(7) = 0;                                                    // r15
+  *reinterpret_cast<uint32_t*>(top - 64) = kDefaultMxcsr;
+  *reinterpret_cast<uint16_t*>(top - 60) = kDefaultFpucw;
+  *reinterpret_cast<uint16_t*>(top - 58) = 0;
+
+  rsp = reinterpret_cast<void*>(top - 64);
+}
+
+void HeavyContext::Reset(void* stack_low_addr, size_t size, ContextEntry entry_fn,
+                         void* entry_arg) {
+  ADIOS_CHECK(stack_low_addr != nullptr);
+  ADIOS_CHECK(size >= 512);
+  ADIOS_CHECK(entry_fn != nullptr);
+
+  std::memset(this, 0, sizeof(*this));
+
+  uintptr_t top = reinterpret_cast<uintptr_t>(stack_low_addr) + size;
+  top &= ~static_cast<uintptr_t>(0xf);
+
+  gregs[6] = reinterpret_cast<uint64_t>(entry_fn);  // r12
+  gregs[7] = reinterpret_cast<uint64_t>(entry_arg);  // r13
+  gregs[15] = top;                                   // rsp
+  gregs[16] = reinterpret_cast<uint64_t>(&AdiosHeavyEntryThunk);  // rip
+  // mxcsr/fpucw slot (gregs[17]) holds {mxcsr:u32, fpucw:u16}.
+  gregs[17] = static_cast<uint64_t>(kDefaultMxcsr) |
+              (static_cast<uint64_t>(kDefaultFpucw) << 32);
+
+  // A minimal valid fxsave image: default FCW/MXCSR, permissive MXCSR mask.
+  std::memcpy(fxsave_area + kFxsaveFcwOffset, &kDefaultFpucw, sizeof(kDefaultFpucw));
+  std::memcpy(fxsave_area + kFxsaveMxcsrOffset, &kDefaultMxcsr, sizeof(kDefaultMxcsr));
+  const uint32_t mxcsr_mask = 0xffff;
+  std::memcpy(fxsave_area + kFxsaveMxcsrMaskOffset, &mxcsr_mask, sizeof(mxcsr_mask));
+}
+
+static_assert(offsetof(HeavyContext, fxsave_area) == 352,
+              "asm offset HFX in context_switch_x86_64.S must match");
+static_assert(offsetof(HeavyContext, gregs) == 0, "asm offsets must match");
+
+}  // namespace adios

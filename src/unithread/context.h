@@ -1,0 +1,86 @@
+// Unithread execution contexts (paper §3.2, Table 1).
+//
+// A UnithreadContext is the paper's minimal context: everything needed to
+// suspend and resume a user-level thread lives either in this 80-byte struct
+// or on the thread's own stack. The switch saves only the callee-saved
+// registers plus the FP control words (mxcsr, fpucw); caller-saved registers
+// are already spilled by the compiler around the call, exactly as the paper
+// argues from the SysV ABI. No mode switch, no syscall, no full FP dump.
+//
+// HeavyContext reproduces the comparator in Table 1: a ucontext_t-class
+// mechanism (Shinjuku's) that saves the full general-purpose register file
+// plus a 512-byte fxsave64 image, in a 968-byte structure.
+
+#ifndef ADIOS_SRC_UNITHREAD_CONTEXT_H_
+#define ADIOS_SRC_UNITHREAD_CONTEXT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace adios {
+
+enum class ContextState : uint32_t {
+  kUnstarted = 0,
+  kRunnable = 1,
+  kRunning = 2,
+  kBlocked = 3,
+  kFinished = 4,
+};
+
+using ContextEntry = void (*)(void*);
+
+// The minimal per-thread context. All register state except `rsp` is kept on
+// the thread's stack by the switch routine, so the struct itself stays small
+// (the paper's unithread context is 80 bytes; so is this one).
+struct alignas(16) UnithreadContext {
+  void* rsp = nullptr;            // Saved stack pointer; everything else is on the stack.
+  ContextEntry entry = nullptr;   // Thread entry point (used once, by the trampoline).
+  void* arg = nullptr;            // Argument register content for entry().
+  UnithreadContext* parent = nullptr;  // Context resumed when entry() returns.
+  void* stack_low = nullptr;      // Lowest address of the stack area (bookkeeping).
+  uint64_t stack_size = 0;
+  ContextState state = ContextState::kUnstarted;
+  uint32_t id = 0;                // Free for the embedding scheduler's use.
+  uint64_t user_data = 0;         // Free for the embedding scheduler's use.
+  uint64_t user_data2 = 0;        // Free for the embedding scheduler's use.
+  uint64_t switch_count = 0;      // Number of times this context was resumed.
+
+  // Prepares this context to run entry(arg) on [stack_low, stack_low+size).
+  // The first SwitchContext() into it starts the entry function; when entry
+  // returns, control transfers to `parent`.
+  void Reset(void* stack_low_addr, size_t size, ContextEntry entry_fn, void* entry_arg,
+             UnithreadContext* parent_ctx);
+
+  bool finished() const { return state == ContextState::kFinished; }
+};
+
+static_assert(sizeof(UnithreadContext) == 80, "paper-matching 80-byte unithread context");
+
+// Saves the current execution state into `from` and resumes `to`.
+// Implemented in context_switch_x86_64.S.
+extern "C" void AdiosContextSwitch(UnithreadContext* from, UnithreadContext* to);
+
+// Shinjuku-style heavy context: full GPR file + fxsave64 image + the sigmask
+// padding that makes glibc's ucontext_t 968 bytes. Functionally equivalent
+// for user-level switching; strictly more state saved per switch.
+struct alignas(16) HeavyContext {
+  uint64_t gregs[18];                 // rbx rbp r8..r15 rdi rsi rdx rcx rax rsp rip rflags-slot
+  uint64_t fp_ptr;                    // Mirrors ucontext's fpregs pointer slot.
+  uint64_t reserved[8];               // Mirrors ucontext's __reserved1.
+  uint8_t sigmask[128];               // Mirrors ucontext's uc_sigmask (unused).
+  alignas(16) uint8_t fxsave_area[512];  // Full x87/SSE state via fxsave64.
+  uint64_t link;                      // Mirrors uc_link.
+  uint64_t trailer[12];               // stack_t etc. padding up to ucontext_t size.
+
+  void Reset(void* stack_low_addr, size_t size, ContextEntry entry_fn, void* entry_arg);
+};
+
+static_assert(sizeof(HeavyContext) >= 968, "comparator must be at least ucontext_t-sized");
+
+// Full-state switch (Table 1's ucontext_t-class mechanism, sans the
+// sigprocmask syscall that glibc swapcontext adds on top).
+extern "C" void AdiosHeavyContextSwitch(HeavyContext* from, HeavyContext* to);
+
+}  // namespace adios
+
+#endif  // ADIOS_SRC_UNITHREAD_CONTEXT_H_

@@ -1,0 +1,70 @@
+#include "src/unithread/cooperative_scheduler.h"
+
+#include "src/base/check.h"
+
+namespace adios {
+
+namespace {
+thread_local CooperativeScheduler* g_current_scheduler = nullptr;
+}  // namespace
+
+CooperativeScheduler::CooperativeScheduler(UnithreadPool::Options pool_options)
+    : pool_(pool_options) {}
+
+CooperativeScheduler::~CooperativeScheduler() {
+  ADIOS_CHECK(ready_.empty());
+  ADIOS_CHECK(running_ == nullptr);
+}
+
+void CooperativeScheduler::Spawn(std::function<void()> fn) {
+  UnithreadBuffer buffer = pool_.Acquire();
+  ADIOS_CHECK(buffer.valid());
+  auto* task = new Task{buffer, std::move(fn)};
+  buffer.ResetContext(&CooperativeScheduler::TaskEntry, task, &host_ctx_);
+  // Stash the task on the context for requeueing after a Yield().
+  task->buffer.context()->user_data = reinterpret_cast<uint64_t>(task);
+  ready_.push_back(task);
+}
+
+void CooperativeScheduler::TaskEntry(void* arg) {
+  auto* task = static_cast<Task*>(arg);
+  task->fn();
+}
+
+void CooperativeScheduler::Run() {
+  ADIOS_CHECK(running_ == nullptr);
+  CooperativeScheduler* previous = g_current_scheduler;
+  g_current_scheduler = this;
+  while (!ready_.empty()) {
+    Task* task = ready_.front();
+    ready_.pop_front();
+    running_ = task;
+    UnithreadContext* ctx = task->buffer.context();
+    ctx->switch_count++;
+    ++total_switches_;
+    AdiosContextSwitch(&host_ctx_, ctx);
+    running_ = nullptr;
+    if (ctx->finished()) {
+      pool_.Release(task->buffer);
+      delete task;
+    } else {
+      ready_.push_back(task);
+    }
+  }
+  g_current_scheduler = previous;
+}
+
+void CooperativeScheduler::Yield() {
+  CooperativeScheduler* sched = g_current_scheduler;
+  ADIOS_CHECK(sched != nullptr);
+  Task* task = sched->running_;
+  ADIOS_CHECK(task != nullptr);
+  UnithreadContext* ctx = task->buffer.context();
+  ctx->state = ContextState::kRunnable;
+  AdiosContextSwitch(ctx, &sched->host_ctx_);
+  ctx->state = ContextState::kRunning;
+}
+
+CooperativeScheduler* CooperativeScheduler::Current() { return g_current_scheduler; }
+
+}  // namespace adios

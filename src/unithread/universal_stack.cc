@@ -1,0 +1,43 @@
+#include "src/unithread/universal_stack.h"
+
+namespace adios {
+
+UnithreadPool::UnithreadPool(const Options& options) : options_(options) {
+  ADIOS_CHECK(options_.count > 0);
+  ADIOS_CHECK(options_.mtu % alignof(UnithreadContext) == 0);
+  ADIOS_CHECK(options_.buffer_size > options_.mtu + sizeof(UnithreadContext) + 512);
+
+  arena_.resize(options_.count * options_.buffer_size);
+  free_.reserve(options_.count);
+  // LIFO free list: most-recently-released buffer is reused first, which
+  // keeps the hot set of stacks small and cache-friendly.
+  for (size_t i = options_.count; i > 0; --i) {
+    free_.push_back(static_cast<uint32_t>(i - 1));
+  }
+}
+
+UnithreadBuffer UnithreadPool::Acquire() {
+  if (free_.empty()) {
+    return UnithreadBuffer();
+  }
+  const uint32_t idx = free_.back();
+  free_.pop_back();
+  std::byte* base = arena_.data() + static_cast<size_t>(idx) * options_.buffer_size;
+  UnithreadBuffer buf(base, options_.buffer_size, options_.mtu);
+  buf.context()->id = idx;
+  return buf;
+}
+
+void UnithreadPool::Release(UnithreadBuffer buffer) {
+  ADIOS_CHECK(buffer.valid());
+  const std::byte* base = buffer.payload();
+  const ptrdiff_t offset = base - arena_.data();
+  ADIOS_CHECK(offset >= 0);
+  ADIOS_CHECK(static_cast<size_t>(offset) % options_.buffer_size == 0);
+  const uint32_t idx = static_cast<uint32_t>(static_cast<size_t>(offset) / options_.buffer_size);
+  ADIOS_CHECK(idx < options_.count);
+  ADIOS_DCHECK(free_.size() < options_.count);
+  free_.push_back(idx);
+}
+
+}  // namespace adios

@@ -1,0 +1,110 @@
+// Universal stack buffers and the pre-allocated unithread pool (paper §3.2).
+//
+// Each unithread occupies exactly one contiguous buffer laid out per Fig. 4:
+//
+//   | packet header + payload | CTX (80 B) | context's stack ........... |
+//   0                       mtu           mtu+80                  buf_size
+//
+// The networking stack writes the request payload at the head of the buffer;
+// the context struct follows at the MTU boundary; the remaining space is the
+// unithread's *universal stack*, shared by application and kernel code (no
+// separate exception stack). The pool pre-allocates a fixed number of
+// buffers so request handling never allocates.
+
+#ifndef ADIOS_SRC_UNITHREAD_UNIVERSAL_STACK_H_
+#define ADIOS_SRC_UNITHREAD_UNIVERSAL_STACK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/unithread/context.h"
+
+namespace adios {
+
+// A view over one pre-allocated unithread buffer. Non-owning; the pool owns
+// the memory.
+class UnithreadBuffer {
+ public:
+  UnithreadBuffer() = default;
+  UnithreadBuffer(std::byte* base, size_t size, size_t mtu) : base_(base), size_(size), mtu_(mtu) {
+    ADIOS_DCHECK(base != nullptr);
+    ADIOS_DCHECK(mtu % alignof(UnithreadContext) == 0);
+    ADIOS_DCHECK(size > mtu + sizeof(UnithreadContext) + 512);
+  }
+
+  bool valid() const { return base_ != nullptr; }
+
+  // Packet payload region at the head of the buffer.
+  std::byte* payload() { return base_; }
+  const std::byte* payload() const { return base_; }
+  size_t payload_capacity() const { return mtu_; }
+
+  // The unithread context embedded after the payload.
+  UnithreadContext* context() {
+    return reinterpret_cast<UnithreadContext*>(base_ + mtu_);
+  }
+
+  // The universal stack region: everything after the context.
+  std::byte* stack_low() { return base_ + mtu_ + sizeof(UnithreadContext); }
+  size_t stack_size() const { return size_ - mtu_ - sizeof(UnithreadContext); }
+
+  size_t buffer_size() const { return size_; }
+
+  // Prepares the embedded context to run entry(arg) on the universal stack.
+  void ResetContext(ContextEntry entry, void* arg, UnithreadContext* parent) {
+    context()->Reset(stack_low(), stack_size(), entry, arg, parent);
+  }
+
+ private:
+  std::byte* base_ = nullptr;
+  size_t size_ = 0;
+  size_t mtu_ = 0;
+};
+
+// Pre-allocated pool of unithread buffers (the paper configures 131,072).
+// Acquire/Release are O(1); Acquire fails (returns invalid buffer) when the
+// pool is exhausted, which the scheduler treats as back-pressure.
+class UnithreadPool {
+ public:
+  struct Options {
+    size_t count = 1024;         // Number of pre-allocated unithreads.
+    size_t buffer_size = 16384;  // Total buffer bytes per unithread.
+    size_t mtu = 1536;           // Payload area (network MTU), 16-aligned.
+  };
+
+  explicit UnithreadPool(const Options& options);
+
+  // Non-copyable: buffers reference the arena.
+  UnithreadPool(const UnithreadPool&) = delete;
+  UnithreadPool& operator=(const UnithreadPool&) = delete;
+
+  // Returns an invalid buffer when the pool is exhausted.
+  UnithreadBuffer Acquire();
+  void Release(UnithreadBuffer buffer);
+
+  // Reconstructs the buffer for a pool index (contexts carry their index in
+  // `id`, so completion wr_ids can name buffers).
+  UnithreadBuffer FromIndex(uint32_t idx) {
+    ADIOS_CHECK(idx < options_.count);
+    return UnithreadBuffer(arena_.data() + static_cast<size_t>(idx) * options_.buffer_size,
+                           options_.buffer_size, options_.mtu);
+  }
+
+  size_t capacity() const { return options_.count; }
+  size_t available() const { return free_.size(); }
+  size_t in_use() const { return options_.count - free_.size(); }
+
+  // Total memory footprint of the pool in bytes.
+  size_t MemoryFootprint() const { return options_.count * options_.buffer_size; }
+
+ private:
+  Options options_;
+  std::vector<std::byte> arena_;
+  std::vector<uint32_t> free_;  // Stack of free buffer indices.
+};
+
+}  // namespace adios
+
+#endif  // ADIOS_SRC_UNITHREAD_UNIVERSAL_STACK_H_

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "src/base/ring_buffer.h"
+#include "src/base/stats.h"
+#include "src/base/time.h"
+
+namespace adios {
+namespace {
+
+TEST(RingBuffer, FifoOrder) {
+  RingBuffer<int> rb(4);
+  EXPECT_TRUE(rb.PushBack(1));
+  EXPECT_TRUE(rb.PushBack(2));
+  EXPECT_TRUE(rb.PushBack(3));
+  EXPECT_EQ(rb.PopFront(), 1);
+  EXPECT_EQ(rb.PopFront(), 2);
+  EXPECT_TRUE(rb.PushBack(4));
+  EXPECT_EQ(rb.PopFront(), 3);
+  EXPECT_EQ(rb.PopFront(), 4);
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, DropsWhenFull) {
+  RingBuffer<int> rb(2);
+  EXPECT_TRUE(rb.PushBack(1));
+  EXPECT_TRUE(rb.PushBack(2));
+  EXPECT_FALSE(rb.PushBack(3));
+  EXPECT_EQ(rb.size(), 2u);
+  EXPECT_EQ(rb.PopFront(), 1);
+}
+
+TEST(RingBuffer, WrapsManyTimes) {
+  RingBuffer<int> rb(3);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(rb.PushBack(i));
+    ASSERT_EQ(rb.PopFront(), i);
+  }
+}
+
+TEST(RingBuffer, ClearEmpties) {
+  RingBuffer<int> rb(2);
+  rb.PushBack(1);
+  rb.Clear();
+  EXPECT_TRUE(rb.empty());
+  EXPECT_TRUE(rb.PushBack(9));
+  EXPECT_EQ(rb.Front(), 9);
+}
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.StdDev(), 2.138, 0.01);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(ThroughputCounter, Utilization) {
+  ThroughputCounter c;
+  c.AddBytes(1250);  // 10000 bits.
+  // 10000 bits over 1 us at 100 Gb/s => 10000 / 100000 = 10%.
+  EXPECT_NEAR(c.Utilization(1000, 100e9), 0.1, 1e-9);
+}
+
+TEST(CycleClock, RoundTripAt2GHz) {
+  constexpr CycleClock clock{2000};
+  EXPECT_EQ(clock.ToNanos(2000), 1000u);
+  EXPECT_EQ(clock.ToNanos(40), 20u);
+  EXPECT_EQ(clock.ToCycles(1000), 2000u);
+  // Nonzero cycles always advance time.
+  EXPECT_GE(clock.ToNanos(1), 1u);
+}
+
+TEST(CycleClock, DurationsCompose) {
+  EXPECT_EQ(Microseconds(5), 5000u);
+  EXPECT_EQ(Milliseconds(2), 2000000u);
+  EXPECT_EQ(Seconds(1), 1000000000u);
+}
+
+}  // namespace
+}  // namespace adios

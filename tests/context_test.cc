@@ -1,0 +1,218 @@
+// Unithread context-switch primitives: correctness of the real assembly
+// switch, context sizing (Table 1), universal stack layout, and the pool.
+
+#include "src/unithread/context.h"
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/unithread/universal_stack.h"
+
+namespace adios {
+namespace {
+
+struct PingPong {
+  UnithreadContext main_ctx;
+  UnithreadContext thread_ctx;
+  std::vector<std::byte> stack = std::vector<std::byte>(64 * 1024);
+  int observed = 0;
+};
+
+void EntryStoresArgAndReturns(void* arg) {
+  auto* pp = static_cast<PingPong*>(arg);
+  pp->observed = 42;
+}
+
+TEST(UnithreadContext, SizeIsEighty) {
+  // The paper's Table 1: Adios' unithread context is 80 bytes.
+  EXPECT_EQ(sizeof(UnithreadContext), 80u);
+}
+
+TEST(UnithreadContext, RunsEntryAndReturnsToParent) {
+  PingPong pp;
+  pp.thread_ctx.Reset(pp.stack.data(), pp.stack.size(), &EntryStoresArgAndReturns, &pp,
+                      &pp.main_ctx);
+  AdiosContextSwitch(&pp.main_ctx, &pp.thread_ctx);
+  EXPECT_EQ(pp.observed, 42);
+  EXPECT_TRUE(pp.thread_ctx.finished());
+}
+
+struct YieldState {
+  UnithreadContext main_ctx;
+  UnithreadContext thread_ctx;
+  std::vector<std::byte> stack = std::vector<std::byte>(64 * 1024);
+  std::vector<int> trace;
+};
+
+void EntryYieldsTwice(void* arg) {
+  auto* s = static_cast<YieldState*>(arg);
+  s->trace.push_back(1);
+  AdiosContextSwitch(&s->thread_ctx, &s->main_ctx);
+  s->trace.push_back(3);
+  AdiosContextSwitch(&s->thread_ctx, &s->main_ctx);
+  s->trace.push_back(5);
+}
+
+TEST(UnithreadContext, SuspendResumePreservesLocals) {
+  YieldState s;
+  s.thread_ctx.Reset(s.stack.data(), s.stack.size(), &EntryYieldsTwice, &s, &s.main_ctx);
+  AdiosContextSwitch(&s.main_ctx, &s.thread_ctx);
+  s.trace.push_back(2);
+  AdiosContextSwitch(&s.main_ctx, &s.thread_ctx);
+  s.trace.push_back(4);
+  AdiosContextSwitch(&s.main_ctx, &s.thread_ctx);
+  EXPECT_EQ(s.trace, (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_TRUE(s.thread_ctx.finished());
+}
+
+// Floating-point state must survive switches (the switch saves mxcsr/fpucw
+// and relies on the ABI for data registers).
+struct FpState {
+  UnithreadContext main_ctx;
+  UnithreadContext thread_ctx;
+  std::vector<std::byte> stack = std::vector<std::byte>(64 * 1024);
+  double result = 0.0;
+};
+
+void EntryDoesFpMath(void* arg) {
+  auto* s = static_cast<FpState*>(arg);
+  double acc = 1.0;
+  for (int i = 1; i <= 10; ++i) {
+    acc = acc * 1.5 + static_cast<double>(i);
+    AdiosContextSwitch(&s->thread_ctx, &s->main_ctx);
+  }
+  s->result = acc;
+}
+
+TEST(UnithreadContext, FloatingPointSurvivesSwitches) {
+  FpState s;
+  s.thread_ctx.Reset(s.stack.data(), s.stack.size(), &EntryDoesFpMath, &s, &s.main_ctx);
+  double acc = 1.0;
+  for (int i = 1; i <= 10; ++i) {
+    AdiosContextSwitch(&s.main_ctx, &s.thread_ctx);
+    acc = acc * 1.5 + static_cast<double>(i);  // Same math, interleaved.
+  }
+  AdiosContextSwitch(&s.main_ctx, &s.thread_ctx);  // Let it finish.
+  EXPECT_DOUBLE_EQ(s.result, acc);
+}
+
+TEST(HeavyContext, AtLeastUcontextSized) {
+  // Table 1's comparator is Shinjuku's ucontext_t (968 bytes on x86-64).
+  EXPECT_GE(sizeof(HeavyContext), 968u);
+}
+
+struct HeavyPing {
+  HeavyContext main_ctx;
+  HeavyContext thread_ctx;
+  std::vector<std::byte> stack = std::vector<std::byte>(64 * 1024);
+  int rounds = 0;
+};
+HeavyPing* g_heavy = nullptr;
+
+void HeavyEntry(void* arg) {
+  auto* s = static_cast<HeavyPing*>(arg);
+  for (;;) {
+    ++s->rounds;
+    AdiosHeavyContextSwitch(&s->thread_ctx, &s->main_ctx);
+  }
+}
+
+TEST(HeavyContext, PingPongs) {
+  HeavyPing s;
+  g_heavy = &s;
+  s.thread_ctx.Reset(s.stack.data(), s.stack.size(), &HeavyEntry, &s);
+  for (int i = 1; i <= 5; ++i) {
+    AdiosHeavyContextSwitch(&s.main_ctx, &s.thread_ctx);
+    EXPECT_EQ(s.rounds, i);
+  }
+}
+
+TEST(UniversalStack, LayoutMatchesFigure4) {
+  UnithreadPool::Options opts;
+  opts.count = 4;
+  opts.buffer_size = 16384;
+  opts.mtu = 1536;
+  UnithreadPool pool(opts);
+  UnithreadBuffer buf = pool.Acquire();
+  ASSERT_TRUE(buf.valid());
+  // | payload (mtu) | CTX | stack |
+  const std::byte* base = buf.payload();
+  EXPECT_EQ(reinterpret_cast<const std::byte*>(buf.context()), base + opts.mtu);
+  EXPECT_EQ(buf.stack_low(), base + opts.mtu + sizeof(UnithreadContext));
+  EXPECT_EQ(buf.stack_size(), opts.buffer_size - opts.mtu - sizeof(UnithreadContext));
+  EXPECT_EQ(buf.payload_capacity(), opts.mtu);
+  pool.Release(buf);
+}
+
+TEST(UnithreadPool, ExhaustionAndRecycle) {
+  UnithreadPool::Options opts;
+  opts.count = 2;
+  opts.buffer_size = 8192;
+  opts.mtu = 1536;
+  UnithreadPool pool(opts);
+  UnithreadBuffer a = pool.Acquire();
+  UnithreadBuffer b = pool.Acquire();
+  ASSERT_TRUE(a.valid());
+  ASSERT_TRUE(b.valid());
+  EXPECT_FALSE(pool.Acquire().valid());
+  EXPECT_EQ(pool.in_use(), 2u);
+  pool.Release(a);
+  EXPECT_EQ(pool.available(), 1u);
+  UnithreadBuffer c = pool.Acquire();
+  EXPECT_TRUE(c.valid());
+  EXPECT_EQ(c.payload(), a.payload());  // LIFO reuse.
+  pool.Release(b);
+  pool.Release(c);
+  EXPECT_EQ(pool.available(), 2u);
+}
+
+TEST(UnithreadPool, FromIndexReconstructsBuffer) {
+  UnithreadPool::Options opts;
+  opts.count = 8;
+  opts.buffer_size = 8192;
+  opts.mtu = 1536;
+  UnithreadPool pool(opts);
+  UnithreadBuffer buf = pool.Acquire();
+  const uint32_t idx = buf.context()->id;
+  UnithreadBuffer again = pool.FromIndex(idx);
+  EXPECT_EQ(again.payload(), buf.payload());
+  EXPECT_EQ(again.buffer_size(), buf.buffer_size());
+  pool.Release(buf);
+}
+
+TEST(UnithreadPool, FootprintAccounting) {
+  UnithreadPool::Options opts;
+  opts.count = 16;
+  opts.buffer_size = 4096;
+  opts.mtu = 1024;
+  UnithreadPool pool(opts);
+  EXPECT_EQ(pool.MemoryFootprint(), 16u * 4096u);
+}
+
+// Running real code on the universal stack inside the buffer.
+void EntryUsesStackDeeply(void* arg) {
+  volatile char local[2048];
+  local[0] = 1;
+  local[2047] = 2;
+  *static_cast<int*>(arg) = local[0] + local[2047];
+}
+
+TEST(UniversalStack, EntryRunsOnBufferStack) {
+  UnithreadPool::Options opts;
+  opts.count = 1;
+  opts.buffer_size = 16384;
+  opts.mtu = 1536;
+  UnithreadPool pool(opts);
+  UnithreadBuffer buf = pool.Acquire();
+  UnithreadContext parent;
+  int result = 0;
+  buf.ResetContext(&EntryUsesStackDeeply, &result, &parent);
+  AdiosContextSwitch(&parent, buf.context());
+  EXPECT_EQ(result, 3);
+  pool.Release(buf);
+}
+
+}  // namespace
+}  // namespace adios

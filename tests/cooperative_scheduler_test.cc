@@ -1,0 +1,94 @@
+#include "src/unithread/cooperative_scheduler.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace adios {
+namespace {
+
+TEST(CooperativeScheduler, RunsAllTasks) {
+  CooperativeScheduler sched;
+  int done = 0;
+  for (int i = 0; i < 50; ++i) {
+    sched.Spawn([&done] { ++done; });
+  }
+  sched.Run();
+  EXPECT_EQ(done, 50);
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
+TEST(CooperativeScheduler, YieldInterleavesRoundRobin) {
+  CooperativeScheduler sched;
+  std::vector<int> trace;
+  for (int id = 0; id < 3; ++id) {
+    sched.Spawn([&trace, id] {
+      for (int step = 0; step < 2; ++step) {
+        trace.push_back(id);
+        CooperativeScheduler::Yield();
+      }
+    });
+  }
+  sched.Run();
+  EXPECT_EQ(trace, (std::vector<int>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST(CooperativeScheduler, SpawnFromInsideTask) {
+  CooperativeScheduler sched;
+  int order = 0;
+  int child_ran_at = 0;
+  sched.Spawn([&] {
+    ++order;
+    sched.Spawn([&] { child_ran_at = ++order; });
+    ++order;
+  });
+  sched.Run();
+  EXPECT_EQ(child_ran_at, 3);
+}
+
+TEST(CooperativeScheduler, CurrentIsSetOnlyInsideRun) {
+  EXPECT_EQ(CooperativeScheduler::Current(), nullptr);
+  CooperativeScheduler sched;
+  CooperativeScheduler* seen = nullptr;
+  sched.Spawn([&seen] { seen = CooperativeScheduler::Current(); });
+  sched.Run();
+  EXPECT_EQ(seen, &sched);
+  EXPECT_EQ(CooperativeScheduler::Current(), nullptr);
+}
+
+TEST(CooperativeScheduler, ManyTasksWithYields) {
+  CooperativeScheduler sched;
+  uint64_t sum = 0;
+  for (int i = 0; i < 500; ++i) {
+    sched.Spawn([&sum, i] {
+      for (int k = 0; k < 4; ++k) {
+        sum += static_cast<uint64_t>(i);
+        CooperativeScheduler::Yield();
+      }
+    });
+  }
+  sched.Run();
+  EXPECT_EQ(sum, 4ull * (499ull * 500 / 2));
+  EXPECT_GE(sched.total_switches(), 2000u);
+}
+
+TEST(CooperativeScheduler, LocalStateSurvivesYields) {
+  CooperativeScheduler sched;
+  bool ok = false;
+  sched.Spawn([&ok] {
+    int locals[16];
+    for (int i = 0; i < 16; ++i) {
+      locals[i] = i * i;
+      CooperativeScheduler::Yield();
+    }
+    ok = true;
+    for (int i = 0; i < 16; ++i) {
+      ok = ok && locals[i] == i * i;
+    }
+  });
+  sched.Run();
+  EXPECT_TRUE(ok);
+}
+
+}  // namespace
+}  // namespace adios

@@ -1,0 +1,278 @@
+// Discrete-event engine: ordering, determinism, fiber suspension semantics.
+
+#include "src/sim/engine.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/cpu_core.h"
+#include "src/sim/wait_queue.h"
+
+namespace adios {
+namespace {
+
+TEST(Engine, EventsFireInTimeOrder) {
+  Engine e;
+  std::vector<int> trace;
+  e.Schedule(30, [&] { trace.push_back(3); });
+  e.Schedule(10, [&] { trace.push_back(1); });
+  e.Schedule(20, [&] { trace.push_back(2); });
+  e.Run();
+  EXPECT_EQ(trace, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30u);
+}
+
+TEST(Engine, TiesBreakByInsertionOrder) {
+  Engine e;
+  std::vector<int> trace;
+  for (int i = 0; i < 10; ++i) {
+    e.Schedule(5, [&trace, i] { trace.push_back(i); });
+  }
+  e.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(trace[i], i);
+  }
+}
+
+TEST(Engine, RunUntilStopsAtHorizon) {
+  Engine e;
+  int fired = 0;
+  e.Schedule(10, [&] { ++fired; });
+  e.Schedule(100, [&] { ++fired; });
+  e.RunUntil(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.now(), 50u);
+  e.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(e.now(), 100u);
+}
+
+TEST(Engine, ScheduledEventsCanScheduleMore) {
+  Engine e;
+  int count = 0;
+  std::function<void()> chain = [&]() {
+    if (++count < 5) {
+      e.Schedule(10, chain);
+    }
+  };
+  e.Schedule(10, chain);
+  e.Run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(e.now(), 50u);
+}
+
+TEST(Engine, CancellableEventSkipsWhenCancelled) {
+  Engine e;
+  int fired = 0;
+  auto h = e.ScheduleCancellable(10, [&] { ++fired; });
+  EXPECT_TRUE(h.pending());
+  h.Cancel();
+  EXPECT_FALSE(h.pending());
+  e.Run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Engine, CancellableEventFiresWhenNotCancelled) {
+  Engine e;
+  int fired = 0;
+  auto h = e.ScheduleCancellable(10, [&] { ++fired; });
+  e.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(Engine, StopHaltsProcessing) {
+  Engine e;
+  int fired = 0;
+  e.Schedule(10, [&] {
+    ++fired;
+    e.Stop();
+  });
+  e.Schedule(20, [&] { ++fired; });
+  e.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Fiber, WaitAdvancesSimulatedTime) {
+  Engine e;
+  std::vector<SimTime> stamps;
+  e.SpawnFiber("t", [&] {
+    stamps.push_back(e.now());
+    e.Wait(100);
+    stamps.push_back(e.now());
+    e.Wait(50);
+    stamps.push_back(e.now());
+  });
+  e.Run();
+  EXPECT_EQ(stamps, (std::vector<SimTime>{0, 100, 150}));
+}
+
+TEST(Fiber, TwoFibersInterleaveByTime) {
+  Engine e;
+  std::vector<std::pair<char, SimTime>> trace;
+  e.SpawnFiber("a", [&] {
+    for (int i = 0; i < 3; ++i) {
+      e.Wait(10);
+      trace.push_back({'a', e.now()});
+    }
+  });
+  e.SpawnFiber("b", [&] {
+    for (int i = 0; i < 2; ++i) {
+      e.Wait(15);
+      trace.push_back({'b', e.now()});
+    }
+  });
+  e.Run();
+  // At t=30 both fire; b's resume was scheduled earlier (at t=15) than a's
+  // (at t=20), so the deterministic tie-break runs b first.
+  std::vector<std::pair<char, SimTime>> expected = {
+      {'a', 10}, {'b', 15}, {'a', 20}, {'b', 30}, {'a', 30}};
+  EXPECT_EQ(trace, expected);
+}
+
+TEST(Fiber, SuspendAndResumeLater) {
+  Engine e;
+  std::vector<int> trace;
+  UnithreadContext* suspended = nullptr;
+  e.SpawnFiber("sleeper", [&] {
+    trace.push_back(1);
+    suspended = e.current_context();
+    e.SuspendCurrent();
+    trace.push_back(3);
+  });
+  e.Schedule(100, [&] {
+    trace.push_back(2);
+    e.ResumeLater(suspended, 5);
+  });
+  e.Run();
+  EXPECT_EQ(trace, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 105u);
+}
+
+TEST(WaitQueueTest, FifoWakeOrder) {
+  Engine e;
+  WaitQueue wq(&e);
+  std::vector<int> woke;
+  for (int i = 0; i < 3; ++i) {
+    e.SpawnFiber("w" + std::to_string(i), [&, i] {
+      wq.Wait();
+      woke.push_back(i);
+    });
+  }
+  e.Schedule(10, [&] { wq.NotifyOne(); });
+  e.Schedule(20, [&] { wq.NotifyAll(); });
+  e.Run();
+  EXPECT_EQ(woke, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(WaitQueueTest, NotifyDelayModelsWakeupCost) {
+  Engine e;
+  WaitQueue wq(&e);
+  SimTime woke_at = 0;
+  e.SpawnFiber("w", [&] {
+    wq.Wait();
+    woke_at = e.now();
+  });
+  e.Schedule(100, [&] { wq.NotifyOne(/*wake_delay=*/5000); });
+  e.Run();
+  EXPECT_EQ(woke_at, 5100u);
+}
+
+TEST(WaitQueueTest, NotifyOnEmptyReturnsFalse) {
+  Engine e;
+  WaitQueue wq(&e);
+  EXPECT_FALSE(wq.NotifyOne());
+}
+
+TEST(CpuCoreTest, ConsumeChargesTimeAndBusy) {
+  Engine e;
+  CpuCore core(&e, CycleClock(2000), "c");
+  e.SpawnFiber("t", [&] {
+    core.Consume(2000);  // 1 us at 2 GHz.
+    EXPECT_EQ(e.now(), 1000u);
+    e.Wait(1000);  // Idle time.
+    core.Consume(4000);
+  });
+  e.Run();
+  EXPECT_EQ(core.busy_ns(), 3000u);
+  EXPECT_EQ(e.now(), 4000u);
+}
+
+TEST(CpuCoreTest, UtilizationWindow) {
+  Engine e;
+  CpuCore core(&e, CycleClock(2000), "c");
+  e.SpawnFiber("t", [&] {
+    core.Consume(2000);
+    core.MarkWindow();
+    const SimTime start = e.now();
+    core.Consume(2000);
+    e.Wait(1000);
+    EXPECT_NEAR(core.Utilization(start), 0.5, 1e-9);
+  });
+  e.Run();
+}
+
+TEST(CpuCoreTest, BusyWaitUntilAccounted) {
+  Engine e;
+  CpuCore core(&e, CycleClock(2000), "c");
+  e.SpawnFiber("t", [&] { core.BusyWaitUntil(500); });
+  e.Run();
+  EXPECT_EQ(core.busy_wait_ns(), 500u);
+  EXPECT_EQ(core.busy_ns(), 500u);
+}
+
+// The critical nesting used by the MD scheduler: a fiber switches into a
+// nested unithread; the unithread Wait()s on the engine; the engine resumes
+// it; it finishes back into the fiber.
+TEST(Fiber, NestedUnithreadCanWaitOnEngine) {
+  Engine e;
+  std::vector<std::pair<int, SimTime>> trace;
+  std::vector<std::byte> stack(32 * 1024);
+  UnithreadContext nested;
+
+  struct Ctx {
+    Engine* e;
+    std::vector<std::pair<int, SimTime>>* trace;
+  } ctx{&e, &trace};
+
+  e.SpawnFiber("host", [&] {
+    trace.push_back({1, e.now()});
+    nested.Reset(
+        stack.data(), stack.size(),
+        [](void* arg) {
+          auto* c = static_cast<Ctx*>(arg);
+          c->trace->push_back({2, c->e->now()});
+          c->e->Wait(100);
+          c->trace->push_back({3, c->e->now()});
+        },
+        &ctx, e.current_context());
+    e.RawSwitch(e.current_context(), &nested);
+    trace.push_back({4, e.now()});
+  });
+  e.Run();
+  std::vector<std::pair<int, SimTime>> expected = {{1, 0}, {2, 0}, {3, 100}, {4, 100}};
+  EXPECT_EQ(trace, expected);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run = [] {
+    Engine e;
+    uint64_t hash = 0;
+    WaitQueue wq(&e);
+    for (int i = 0; i < 4; ++i) {
+      e.SpawnFiber("f", [&e, &hash, i] {
+        for (int k = 0; k < 10; ++k) {
+          e.Wait(static_cast<SimDuration>(7 * i + k + 1));
+          hash = hash * 31 + e.now() + static_cast<uint64_t>(i);
+        }
+      });
+    }
+    e.Run();
+    return hash;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace adios

@@ -1,0 +1,198 @@
+#include "src/rdma/fabric.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace adios {
+namespace {
+
+FabricParams TestParams() {
+  FabricParams p;  // Library defaults, calibrated in params.h.
+  return p;
+}
+
+TEST(Fabric, UnloadedReadLatencyInPaperRange) {
+  Engine e;
+  RdmaFabric fabric(&e, TestParams());
+  CompletionQueue* cq = fabric.CreateCq();
+  QueuePair* qp = fabric.CreateQp(cq);
+  ASSERT_TRUE(qp->PostRead(4096, 1));
+  e.Run();
+  ASSERT_EQ(cq->size(), 1u);
+  Completion c;
+  cq->Poll(1, &c);
+  EXPECT_EQ(c.wr_id, 1u);
+  EXPECT_EQ(c.type, WorkType::kRead);
+  // The paper cites 2-3 us for a 4 KB fetch on 100 GbE RNICs.
+  EXPECT_GE(c.completed_at, 2000u);
+  EXPECT_LE(c.completed_at, 3500u);
+}
+
+TEST(Fabric, ReadCompletionsFifoPerQp) {
+  Engine e;
+  RdmaFabric fabric(&e, TestParams());
+  CompletionQueue* cq = fabric.CreateCq();
+  QueuePair* qp = fabric.CreateQp(cq);
+  for (uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(qp->PostRead(4096, i));
+  }
+  e.Run();
+  ASSERT_EQ(cq->size(), 10u);
+  std::vector<Completion> out(10);
+  cq->Poll(10, out.begin());
+  for (uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(out[i].wr_id, i);
+  }
+}
+
+TEST(Fabric, QpDepthEnforced) {
+  FabricParams p = TestParams();
+  p.qp_depth = 4;
+  Engine e;
+  RdmaFabric fabric(&e, p);
+  QueuePair* qp = fabric.CreateQp(fabric.CreateCq());
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(qp->PostRead(4096, i));
+  }
+  EXPECT_TRUE(qp->full());
+  EXPECT_FALSE(qp->PostRead(4096, 99));
+  e.Run();
+  EXPECT_EQ(qp->outstanding(), 0u);
+  EXPECT_TRUE(qp->PostRead(4096, 100));  // Capacity returned.
+  e.Run();
+}
+
+TEST(Fabric, OutstandingTracksInFlight) {
+  Engine e;
+  RdmaFabric fabric(&e, TestParams());
+  QueuePair* qp = fabric.CreateQp(fabric.CreateCq());
+  qp->PostRead(4096, 1);
+  qp->PostRead(4096, 2);
+  EXPECT_EQ(qp->outstanding(), 2u);
+  EXPECT_EQ(fabric.TotalOutstanding(), 2u);
+  e.Run();
+  EXPECT_EQ(qp->outstanding(), 0u);
+}
+
+TEST(Fabric, WriteCompletesAndCountsUpstreamBytes) {
+  Engine e;
+  RdmaFabric fabric(&e, TestParams());
+  CompletionQueue* cq = fabric.CreateCq();
+  QueuePair* qp = fabric.CreateQp(cq);
+  ASSERT_TRUE(qp->PostWrite(4096, 7));
+  e.Run();
+  Completion c;
+  ASSERT_EQ(cq->Poll(1, &c), 1u);
+  EXPECT_EQ(c.type, WorkType::kWrite);
+  // Payload went compute -> memory node.
+  EXPECT_GE(fabric.rdma_request_link().total_bytes(), 4096u);
+}
+
+TEST(Fabric, SendDeliversAndCompletes) {
+  Engine e;
+  RdmaFabric fabric(&e, TestParams());
+  CompletionQueue* cq = fabric.CreateCq();
+  QueuePair* qp = fabric.CreateQp(cq);
+  SimTime delivered_at = 0;
+  ASSERT_TRUE(qp->PostSend(1024, 5, [&] { delivered_at = e.now(); }));
+  e.Run();
+  Completion c;
+  ASSERT_EQ(cq->Poll(1, &c), 1u);
+  EXPECT_EQ(c.type, WorkType::kSend);
+  EXPECT_GT(delivered_at, 0u);
+  // Delivery happens one client-wire latency after the TX completes serializing.
+  EXPECT_GE(delivered_at, TestParams().client_wire_latency_ns);
+}
+
+TEST(Fabric, CqSteeringRedirectsCompletions) {
+  // The polling-delegation mechanism: one CQ serving another QP's sends.
+  Engine e;
+  RdmaFabric fabric(&e, TestParams());
+  CompletionQueue* own = fabric.CreateCq();
+  CompletionQueue* delegated = fabric.CreateCq();
+  QueuePair* qp = fabric.CreateQp(own);
+  qp->set_cq(delegated);
+  qp->PostSend(512, 1, nullptr);
+  e.Run();
+  EXPECT_TRUE(own->empty());
+  EXPECT_EQ(delegated->size(), 1u);
+}
+
+TEST(Fabric, ClientInjectArrivesAfterLinkAndWire) {
+  Engine e;
+  RdmaFabric fabric(&e, TestParams());
+  SimTime arrived = 0;
+  fabric.ClientInject(64, [&] { arrived = e.now(); });
+  e.Run();
+  EXPECT_GE(arrived, TestParams().client_wire_latency_ns);
+  EXPECT_LT(arrived, 1000u);
+}
+
+TEST(Fabric, CqOnPushHookFires) {
+  Engine e;
+  RdmaFabric fabric(&e, TestParams());
+  CompletionQueue* cq = fabric.CreateCq();
+  QueuePair* qp = fabric.CreateQp(cq);
+  int pushes = 0;
+  cq->set_on_push([&] { ++pushes; });
+  qp->PostRead(4096, 1);
+  qp->PostRead(4096, 2);
+  e.Run();
+  EXPECT_EQ(pushes, 2);
+}
+
+TEST(Fabric, SharedLinkCongestionDelaysCompletions) {
+  // Two QPs saturating the response link: completions take longer than the
+  // unloaded latency, demonstrating queueing.
+  Engine e;
+  RdmaFabric fabric(&e, TestParams());
+  CompletionQueue* cq = fabric.CreateCq();
+  QueuePair* a = fabric.CreateQp(cq);
+  QueuePair* b = fabric.CreateQp(cq);
+  for (uint64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(a->PostRead(4096, i));
+    ASSERT_TRUE(b->PostRead(4096, 100 + i));
+  }
+  e.Run();
+  std::vector<Completion> out(100);
+  ASSERT_EQ(cq->Poll(100, out.begin()), 100u);
+  // The last completion waited behind ~99 serializations (~330 ns each).
+  EXPECT_GT(out.back().completed_at, 30000u);
+}
+
+TEST(Fabric, WqeEngineCapsOperationRate) {
+  // The NIC requester engine serializes WQE processing: N posted reads
+  // cannot complete faster than N * wqe_process_ns (§5.2's NIC-bound
+  // regime for Memcached).
+  Engine e;
+  FabricParams p;
+  RdmaFabric fabric(&e, p);
+  CompletionQueue* cq = fabric.CreateCq();
+  QueuePair* qp = fabric.CreateQp(cq);
+  const uint64_t n = 100;
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(qp->PostRead(4096, i));
+  }
+  e.Run();
+  ASSERT_EQ(cq->size(), n);
+  std::vector<Completion> out(n);
+  cq->Poll(n, out.begin());
+  EXPECT_GE(out.back().completed_at, n * p.wqe_process_ns);
+}
+
+TEST(Fabric, UtilizationWindowReflectsTraffic) {
+  Engine e;
+  RdmaFabric fabric(&e, TestParams());
+  QueuePair* qp = fabric.CreateQp(fabric.CreateCq());
+  fabric.MarkUtilizationWindow();
+  for (uint64_t i = 0; i < 20; ++i) {
+    qp->PostRead(4096, i);
+  }
+  e.Run();
+  EXPECT_GT(fabric.RdmaUtilization(), 0.0);
+  EXPECT_LE(fabric.RdmaUtilization(), 1.0);
+}
+
+}  // namespace
+}  // namespace adios

@@ -1,0 +1,66 @@
+// Test double for WorkerApi: executes application handlers directly against
+// a RemoteRegion with no simulation — every access succeeds instantly, and
+// the fake records what the handler did (pages touched, cycles, probes).
+
+#ifndef ADIOS_TESTS_FAKE_WORKER_API_H_
+#define ADIOS_TESTS_FAKE_WORKER_API_H_
+
+#include <set>
+
+#include "src/sched/worker_api.h"
+
+namespace adios {
+
+class FakeWorkerApi final : public WorkerApi {
+ public:
+  explicit FakeWorkerApi(RemoteRegion* region, uint64_t seed = 1)
+      : region_(region), rng_(seed) {}
+
+  void Access(RemoteAddr addr, uint64_t len, bool write) override {
+    ADIOS_CHECK(len > 0);
+    ADIOS_CHECK(addr + len <= region_->size());
+    ++accesses_;
+    for (uint64_t p = PageOf(addr); p <= PageOf(addr + len - 1); ++p) {
+      pages_touched_.insert(p);
+      if (write) {
+        pages_written_.insert(p);
+      }
+    }
+  }
+
+  void Compute(uint64_t cycles) override { cycles_ += cycles; }
+  void MaybePreempt() override { ++preempt_probes_; }
+  RemoteRegion* region() override { return region_; }
+  Request* request() override { return current_; }
+  Rng& rng() override { return rng_; }
+
+  void set_request(Request* req) { current_ = req; }
+
+  uint64_t accesses() const { return accesses_; }
+  uint64_t cycles() const { return cycles_; }
+  uint64_t preempt_probes() const { return preempt_probes_; }
+  const std::set<uint64_t>& pages_touched() const { return pages_touched_; }
+  const std::set<uint64_t>& pages_written() const { return pages_written_; }
+
+  void ResetCounters() {
+    accesses_ = 0;
+    cycles_ = 0;
+    preempt_probes_ = 0;
+    pages_touched_.clear();
+    pages_written_.clear();
+  }
+
+ private:
+  RemoteRegion* region_;
+  Rng rng_;
+  Request* current_ = nullptr;
+  uint64_t accesses_ = 0;
+  uint64_t cycles_ = 0;
+  uint64_t preempt_probes_ = 0;
+  std::set<uint64_t> pages_touched_;
+  std::set<uint64_t> pages_written_;
+};
+
+}  // namespace adios
+
+#endif  // ADIOS_TESTS_FAKE_WORKER_API_H_

@@ -1,0 +1,130 @@
+#include "src/base/histogram.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+
+namespace adios {
+namespace {
+
+TEST(Histogram, EmptyReportsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.P50(), 0u);
+  EXPECT_EQ(h.Percentile(99.9), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_TRUE(h.Cdf().empty());
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.Add(1234);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1234u);
+  EXPECT_EQ(h.max(), 1234u);
+  // 1.6% relative error bound.
+  EXPECT_NEAR(static_cast<double>(h.P50()), 1234.0, 1234.0 / 64 + 1);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(99.9)), 1234.0, 1234.0 / 64 + 1);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  Histogram h;
+  for (uint64_t v = 0; v < 128; ++v) {
+    h.Add(v);
+  }
+  // Buckets below 128 have width 1, so percentiles are exact.
+  EXPECT_EQ(h.Percentile(100.0), 127u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.Percentile(50.0), 63u);
+}
+
+TEST(Histogram, PercentileNeverExceedsMax) {
+  Histogram h;
+  h.Add(1000001);
+  EXPECT_EQ(h.Percentile(100.0), 1000001u);
+  EXPECT_EQ(h.max(), 1000001u);
+}
+
+TEST(Histogram, MergeCombinesCountsAndExtremes) {
+  Histogram a;
+  Histogram b;
+  a.Add(10);
+  a.Add(20);
+  b.Add(1000000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000000u);
+}
+
+TEST(Histogram, MeanIsExact) {
+  Histogram h;
+  h.Add(100);
+  h.Add(300);
+  EXPECT_DOUBLE_EQ(h.Mean(), 200.0);
+}
+
+TEST(Histogram, CdfIsMonotoneAndEndsAtOne) {
+  Histogram h;
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    h.Add(rng.NextBelow(1 << 20) + 1);
+  }
+  auto cdf = h.Cdf();
+  ASSERT_FALSE(cdf.empty());
+  double prev = 0.0;
+  uint64_t prev_v = 0;
+  for (const auto& [v, frac] : cdf) {
+    EXPECT_GE(v, prev_v);
+    EXPECT_GE(frac, prev);
+    prev = frac;
+    prev_v = v;
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.Add(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.P50(), 0u);
+}
+
+// Property check: against a sorted-vector reference, every reported
+// percentile must be within the documented 1/64 relative error.
+class HistogramAccuracy : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HistogramAccuracy, MatchesReferenceWithinRelativeError) {
+  const uint64_t scale = GetParam();
+  Histogram h;
+  std::vector<uint64_t> ref;
+  Rng rng(scale);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t v = rng.NextBelow(scale) + 1;
+    h.Add(v);
+    ref.push_back(v);
+  }
+  std::sort(ref.begin(), ref.end());
+  for (double p : {1.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    const size_t idx =
+        std::min(ref.size() - 1,
+                 static_cast<size_t>(std::ceil(p / 100.0 * static_cast<double>(ref.size()))) -
+                     (p > 0 ? 1 : 0));
+    const double expected = static_cast<double>(ref[idx]);
+    const double got = static_cast<double>(h.Percentile(p));
+    EXPECT_NEAR(got, expected, expected / 32 + 2)
+        << "p=" << p << " scale=" << scale;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, HistogramAccuracy,
+                         ::testing::Values(100, 10000, 1000000, 100000000, 10000000000ull));
+
+}  // namespace
+}  // namespace adios

@@ -1,0 +1,71 @@
+#include "src/net/load_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/array_app.h"
+#include "src/core/md_system.h"
+
+namespace adios {
+namespace {
+
+TEST(LoadGenerator, PoissonArrivalCountNearRate) {
+  ArrayApp::Options ao;
+  ao.entries = 1 << 14;
+  ArrayApp app(ao);
+  MdSystem sys(SystemConfig::Adios(), &app);
+  const double rate = 500000;
+  const SimDuration warm = Milliseconds(5);
+  const SimDuration meas = Milliseconds(20);
+  RunResult r = sys.Run(rate, warm, meas);
+  const double expected = rate * static_cast<double>(warm + meas) * 1e-9;
+  // Poisson: stddev = sqrt(n) ~ 112; allow 5 sigma plus edge effects.
+  EXPECT_NEAR(static_cast<double>(r.sent), expected, 5 * std::sqrt(expected) + 10);
+}
+
+TEST(LoadGenerator, WarmupExcludedFromStats) {
+  ArrayApp::Options ao;
+  ao.entries = 1 << 14;
+  ArrayApp app(ao);
+  MdSystem sys(SystemConfig::Adios(), &app);
+  RunResult r = sys.Run(300000, Milliseconds(10), Milliseconds(10));
+  // Roughly half the requests are warmup: measured << sent.
+  EXPECT_LT(r.measured, r.completed);
+  EXPECT_GT(r.measured, r.completed / 3);
+  EXPECT_EQ(r.e2e.count(), r.measured);
+}
+
+TEST(LoadGenerator, SamplesMatchMeasuredCount) {
+  ArrayApp::Options ao;
+  ao.entries = 1 << 14;
+  ArrayApp app(ao);
+  MdSystem sys(SystemConfig::DiLOS(), &app);
+  RunResult r = sys.Run(200000, Milliseconds(4), Milliseconds(10));
+  EXPECT_EQ(r.samples.size(), r.measured);
+  for (const auto& s : r.samples) {
+    EXPECT_GE(s.e2e_ns, s.server_ns);  // e2e includes the client links.
+    EXPECT_GE(s.server_ns, s.handle_ns);
+  }
+}
+
+TEST(LoadGenerator, ThroughputMatchesCompletionRateUnderLightLoad) {
+  ArrayApp::Options ao;
+  ao.entries = 1 << 14;
+  ArrayApp app(ao);
+  MdSystem sys(SystemConfig::Adios(), &app);
+  RunResult r = sys.Run(400000, Milliseconds(5), Milliseconds(20));
+  EXPECT_NEAR(r.throughput_rps, 400000, 40000);
+}
+
+TEST(LoadGenerator, ResultVerificationRuns) {
+  // Verify() is spot-checked inside the run; a run completing proves the
+  // handlers returned correct results end to end through remote memory.
+  ArrayApp::Options ao;
+  ao.entries = 1 << 14;
+  ArrayApp app(ao);
+  MdSystem sys(SystemConfig::Adios(), &app);
+  RunResult r = sys.Run(200000, Milliseconds(4), Milliseconds(8));
+  EXPECT_GT(r.measured, 100u);
+}
+
+}  // namespace
+}  // namespace adios

@@ -1,0 +1,174 @@
+// End-to-end integration tests over the four system presets.
+
+#include "src/core/md_system.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/array_app.h"
+#include "src/apps/rocksdb_app.h"
+
+namespace adios {
+namespace {
+
+ArrayApp::Options SmallArray() {
+  ArrayApp::Options o;
+  o.entries = 1 << 15;  // 2 MiB working set: fast tests.
+  return o;
+}
+
+RunResult RunArray(SystemConfig cfg, double rps, SimDuration measure = Milliseconds(10),
+                   ArrayApp::Options ao = SmallArray()) {
+  ArrayApp app(ao);
+  MdSystem sys(cfg, &app);
+  return sys.Run(rps, Milliseconds(4), measure);
+}
+
+TEST(MdSystem, AdiosCompletesAndConserves) {
+  RunResult r = RunArray(SystemConfig::Adios(), 200000);
+  EXPECT_GT(r.measured, 1000u);
+  EXPECT_EQ(r.sent, r.completed + r.dropped);
+  EXPECT_EQ(r.dropped, 0u);
+  EXPECT_GT(r.e2e.P50(), 1000u);  // Sane microsecond-scale latency.
+  EXPECT_LT(r.e2e.P50(), 50000u);
+}
+
+TEST(MdSystem, AllPresetsComplete) {
+  for (const SystemConfig& cfg :
+       {SystemConfig::Adios(), SystemConfig::DiLOS(), SystemConfig::DiLOSP(),
+        SystemConfig::Hermit()}) {
+    RunResult r = RunArray(cfg, 150000);
+    EXPECT_EQ(r.sent, r.completed + r.dropped) << cfg.name;
+    EXPECT_GT(r.measured, 500u) << cfg.name;
+  }
+}
+
+TEST(MdSystem, DeterministicAcrossIdenticalRuns) {
+  RunResult a = RunArray(SystemConfig::Adios(), 250000);
+  RunResult b = RunArray(SystemConfig::Adios(), 250000);
+  EXPECT_EQ(a.sent, b.sent);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.e2e.P50(), b.e2e.P50());
+  EXPECT_EQ(a.e2e.Percentile(99.9), b.e2e.Percentile(99.9));
+  EXPECT_EQ(a.mem.faults, b.mem.faults);
+}
+
+TEST(MdSystem, MostAccessesFaultAtTwentyPercentLocal) {
+  RunResult r = RunArray(SystemConfig::DiLOS(), 200000);
+  // 20% local memory => once warm, ~80% of requests fault.
+  const double fault_rate =
+      static_cast<double>(r.mem.faults) / static_cast<double>(r.completed);
+  EXPECT_GT(fault_rate, 0.6);
+  EXPECT_LT(fault_rate, 1.0);
+}
+
+TEST(MdSystem, FullLocalMemoryEliminatesSteadyStateFaults) {
+  SystemConfig cfg = SystemConfig::Adios();
+  cfg.local_memory_ratio = 1.0;
+  ArrayApp app(SmallArray());
+  MdSystem sys(cfg, &app);
+  RunResult r = sys.Run(200000, Milliseconds(8), Milliseconds(8));
+  // Cold misses only: bounded by the working-set page count.
+  EXPECT_LE(r.mem.faults, sys.memory_manager().page_table().num_pages());
+  EXPECT_EQ(r.mem.evictions_clean + r.mem.evictions_dirty, 0u);
+}
+
+TEST(MdSystem, YieldPolicyActuallyYields) {
+  RunResult adios = RunArray(SystemConfig::Adios(), 200000);
+  RunResult dilos = RunArray(SystemConfig::DiLOS(), 200000);
+  EXPECT_GT(adios.worker_yields, 100u);
+  EXPECT_EQ(dilos.worker_yields, 0u);
+}
+
+TEST(MdSystem, OverloadDropsAndCapsThroughput) {
+  // Far beyond DiLOS's capacity: open-loop arrivals must drop and the
+  // throughput must stay near the service capacity.
+  RunResult r = RunArray(SystemConfig::DiLOS(), 3500000, Milliseconds(15));
+  EXPECT_GT(r.dropped, 0u);
+  EXPECT_EQ(r.sent, r.completed + r.dropped);
+  EXPECT_LT(r.throughput_rps, 2.6e6);
+}
+
+TEST(MdSystem, AdiosBeatsDiLosTailUnderHighLoad) {
+  // The headline claim: at loads near DiLOS saturation, Adios' yield-based
+  // fault handling collapses the tail.
+  const double rps = 1.8e6;
+  ArrayApp::Options ao;
+  ao.entries = 1 << 18;  // 16 MiB: big enough for stable 20% behavior.
+  RunResult adios = RunArray(SystemConfig::Adios(), rps, Milliseconds(15), ao);
+  RunResult dilos = RunArray(SystemConfig::DiLOS(), rps, Milliseconds(15), ao);
+  EXPECT_LT(adios.e2e.Percentile(99.9) * 2, dilos.e2e.Percentile(99.9));
+  EXPECT_LT(adios.e2e.P99(), dilos.e2e.P99());
+}
+
+TEST(MdSystem, AdiosSlightlySlowerAtLowLoad) {
+  // §5.1/§6: at low load the yield path adds a few hundred nanoseconds.
+  RunResult adios = RunArray(SystemConfig::Adios(), 100000);
+  RunResult dilos = RunArray(SystemConfig::DiLOS(), 100000);
+  EXPECT_GE(adios.e2e.P50() + 64, dilos.e2e.P50());  // Adios not better...
+  EXPECT_LT(adios.e2e.P50(), dilos.e2e.P50() + 2000);  // ...by much.
+}
+
+TEST(MdSystem, HermitPaysKernelCosts) {
+  ArrayApp::Options ao;
+  ao.entries = 1 << 17;  // Realistic cache pressure.
+  RunResult hermit = RunArray(SystemConfig::Hermit(), 150000, Milliseconds(10), ao);
+  RunResult dilos = RunArray(SystemConfig::DiLOS(), 150000, Milliseconds(10), ao);
+  EXPECT_GT(hermit.e2e.P50(), dilos.e2e.P50() + 2000);
+  EXPECT_GT(hermit.e2e.Percentile(99.9), 4 * dilos.e2e.Percentile(99.9));
+}
+
+TEST(MdSystem, PollingDelegationRecyclesViaDispatcher) {
+  RunResult r = RunArray(SystemConfig::Adios(), 200000);
+  // Every completed request's buffer came back through the dispatcher CQ.
+  // (Recycle count can exceed measured completions due to warmup traffic.)
+  EXPECT_GE(r.measured, 1000u);
+}
+
+TEST(MdSystem, BreakdownRowsAreConsistent) {
+  RunResult r = RunArray(SystemConfig::DiLOS(), 1000000, Milliseconds(10));
+  auto rows = r.Breakdown({10, 50, 99, 99.9});
+  ASSERT_EQ(rows.size(), 4u);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i].total_ns, rows[i - 1].total_ns);  // Sorted by total.
+  }
+  for (const auto& row : rows) {
+    EXPECT_LE(row.queue_ns + row.handle_ns, row.total_ns + 1000);
+    EXPECT_LE(row.busy_wait_ns, row.rdma_ns + row.tx_wait_ns + 1000);
+  }
+}
+
+TEST(MdSystem, BusyWaitVisibleOnlyInBusyPolicies) {
+  RunResult dilos = RunArray(SystemConfig::DiLOS(), 1000000);
+  RunResult adios = RunArray(SystemConfig::Adios(), 1000000);
+  uint64_t dilos_busy = 0;
+  uint64_t adios_busy = 0;
+  for (const auto& s : dilos.samples) {
+    dilos_busy += s.busy_ns;
+  }
+  for (const auto& s : adios.samples) {
+    adios_busy += s.busy_ns;
+  }
+  EXPECT_GT(dilos_busy, 0u);
+  EXPECT_EQ(adios_busy, 0u);
+}
+
+TEST(MdSystem, PreemptionFiresOnScanHeavyWorkload) {
+  RocksDbApp::Options ro;
+  ro.num_keys = 1 << 14;
+  ro.value_bytes = 256;
+  ro.scan_fraction = 0.05;
+  RocksDbApp app(ro);
+  MdSystem sys(SystemConfig::DiLOSP(), &app);
+  RunResult r = sys.Run(120000, Milliseconds(5), Milliseconds(15));
+  EXPECT_GT(r.requeues, 0u);  // SCANs exceeded the 5 us quantum.
+  EXPECT_EQ(r.sent, r.completed + r.dropped);
+}
+
+TEST(MdSystem, RdmaUtilizationScalesWithLoad) {
+  RunResult lo = RunArray(SystemConfig::Adios(), 300000);
+  RunResult hi = RunArray(SystemConfig::Adios(), 1200000);
+  EXPECT_GT(hi.rdma_utilization, 1.5 * lo.rdma_utilization);
+}
+
+}  // namespace
+}  // namespace adios

@@ -1,0 +1,120 @@
+#include "src/mem/memory_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace adios {
+namespace {
+
+MemoryManager::Options SmallOptions(uint64_t total = 64, uint64_t local = 16) {
+  MemoryManager::Options o;
+  o.total_pages = total;
+  o.local_pages = local;
+  o.reclaim_low_watermark = 0.25;   // 4 frames.
+  o.reclaim_high_watermark = 0.50;  // 8 frames.
+  return o;
+}
+
+TEST(MemoryManager, FrameAccounting) {
+  Engine e;
+  MemoryManager mm(&e, SmallOptions());
+  EXPECT_EQ(mm.free_frames(), 16u);
+  mm.BeginFetch(0);
+  mm.BeginFetch(1);
+  EXPECT_EQ(mm.free_frames(), 14u);
+  EXPECT_EQ(mm.StateOf(0), PageState::kFetching);
+  mm.CompleteFetch(0);
+  EXPECT_EQ(mm.StateOf(0), PageState::kPresent);
+  EXPECT_EQ(mm.free_frames(), 14u);  // Frames stay used while resident.
+  EXPECT_FALSE(mm.EvictPage(0));     // Clean -> frame released immediately.
+  EXPECT_EQ(mm.free_frames(), 15u);
+}
+
+TEST(MemoryManager, DirtyEvictionDefersFrameRelease) {
+  Engine e;
+  MemoryManager mm(&e, SmallOptions());
+  mm.BeginFetch(5);
+  mm.CompleteFetch(5);
+  mm.Touch(5, /*write=*/true);
+  EXPECT_TRUE(mm.EvictPage(5));  // Dirty: caller owns write-back.
+  EXPECT_EQ(mm.free_frames(), 15u);
+  mm.ReleaseFrame();  // Write-back completed.
+  EXPECT_EQ(mm.free_frames(), 16u);
+  EXPECT_EQ(mm.stats().evictions_dirty, 1u);
+}
+
+TEST(MemoryManager, WaitersRunInOrderOnCompleteFetch) {
+  Engine e;
+  MemoryManager mm(&e, SmallOptions());
+  std::vector<int> ran;
+  mm.BeginFetch(3);
+  mm.AddFetchWaiter(3, [&] { ran.push_back(1); });
+  mm.AddFetchWaiter(3, [&] { ran.push_back(2); });
+  ++mm.stats().shared_faults;
+  mm.CompleteFetch(3);
+  EXPECT_EQ(ran, (std::vector<int>{1, 2}));
+  // Waiters cleared: completing another fetch never re-runs them.
+  mm.BeginFetch(4);
+  mm.CompleteFetch(4);
+  EXPECT_EQ(ran.size(), 2u);
+}
+
+TEST(MemoryManager, ReclaimKickFiresBelowLowWatermark) {
+  Engine e;
+  MemoryManager mm(&e, SmallOptions());
+  int kicks = 0;
+  mm.set_reclaim_kick([&] { ++kicks; });
+  // 16 frames, low watermark 25% = 4 frames free.
+  for (uint64_t p = 0; p < 12; ++p) {
+    mm.BeginFetch(p);
+  }
+  EXPECT_EQ(mm.free_frames(), 4u);
+  EXPECT_EQ(kicks, 0);
+  mm.BeginFetch(12);
+  EXPECT_EQ(kicks, 1);  // Crossed below 4.
+  mm.BeginFetch(13);
+  EXPECT_EQ(kicks, 2);  // Kicks on every allocation below the mark.
+}
+
+TEST(MemoryManager, WatermarkPredicates) {
+  Engine e;
+  MemoryManager mm(&e, SmallOptions());
+  EXPECT_FALSE(mm.BelowLowWatermark());
+  EXPECT_TRUE(mm.AboveHighWatermark());
+  for (uint64_t p = 0; p < 13; ++p) {
+    mm.BeginFetch(p);
+  }
+  EXPECT_TRUE(mm.BelowLowWatermark());
+  EXPECT_FALSE(mm.AboveHighWatermark());
+}
+
+TEST(MemoryManager, FrameWaitersNotifiedOnRelease) {
+  Engine e;
+  MemoryManager mm(&e, SmallOptions(8, 2));
+  mm.BeginFetch(0);
+  mm.BeginFetch(1);
+  EXPECT_FALSE(mm.HasFreeFrame());
+  bool resumed = false;
+  e.SpawnFiber("waiter", [&] {
+    mm.frame_waiters().Wait();
+    resumed = true;
+  });
+  e.Schedule(10, [&] {
+    mm.CompleteFetch(0);
+    mm.EvictPage(0);  // Clean: releases a frame, wakes the waiter.
+  });
+  e.Run();
+  EXPECT_TRUE(resumed);
+  EXPECT_TRUE(mm.HasFreeFrame());
+}
+
+TEST(MemoryManager, StatsCountFaultKinds) {
+  Engine e;
+  MemoryManager mm(&e, SmallOptions());
+  mm.BeginFetch(1, /*prefetch=*/false);
+  mm.BeginFetch(2, /*prefetch=*/true);
+  EXPECT_EQ(mm.stats().faults, 1u);
+  EXPECT_EQ(mm.stats().prefetches, 1u);
+}
+
+}  // namespace
+}  // namespace adios

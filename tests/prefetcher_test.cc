@@ -1,0 +1,110 @@
+#include "src/mem/prefetcher.h"
+
+#include <gtest/gtest.h>
+
+namespace adios {
+namespace {
+
+MemoryManager::Options Opts(uint64_t total = 256, uint64_t local = 128) {
+  MemoryManager::Options o;
+  o.total_pages = total;
+  o.local_pages = local;
+  return o;
+}
+
+TEST(Prefetcher, DisabledWindowDoesNothing) {
+  Engine e;
+  MemoryManager mm(&e, Opts());
+  SequentialPrefetcher pf(0);
+  std::vector<uint64_t> out;
+  pf.OnFault(10, &mm, &out);
+  pf.OnFault(11, &mm, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Prefetcher, RandomFaultsDoNotPrefetch) {
+  Engine e;
+  MemoryManager mm(&e, Opts());
+  SequentialPrefetcher pf(8);
+  std::vector<uint64_t> out;
+  pf.OnFault(10, &mm, &out);
+  pf.OnFault(50, &mm, &out);
+  pf.OnFault(7, &mm, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Prefetcher, SequentialStreakRampsWindow) {
+  Engine e;
+  MemoryManager mm(&e, Opts());
+  SequentialPrefetcher pf(8);
+  std::vector<uint64_t> out;
+  pf.OnFault(10, &mm, &out);
+  EXPECT_TRUE(out.empty());  // First fault: no streak yet.
+  pf.OnFault(11, &mm, &out);
+  ASSERT_EQ(out.size(), 2u);  // Streak 1 -> window 2.
+  EXPECT_EQ(out[0], 12u);
+  EXPECT_EQ(out[1], 13u);
+  // Prefetched pages were marked fetching and consumed frames.
+  EXPECT_EQ(mm.StateOf(12), PageState::kFetching);
+  EXPECT_EQ(mm.stats().prefetches, 2u);
+}
+
+TEST(Prefetcher, SkipsAlreadyFetchingPages) {
+  Engine e;
+  MemoryManager mm(&e, Opts());
+  SequentialPrefetcher pf(8);
+  mm.BeginFetch(12);  // Someone else is fetching 12.
+  std::vector<uint64_t> out;
+  pf.OnFault(10, &mm, &out);
+  pf.OnFault(11, &mm, &out);
+  // Window would cover 12..13, but 12 is busy -> stops at the boundary.
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Prefetcher, StopsAtFrameExhaustion) {
+  Engine e;
+  MemoryManager mm(&e, Opts(256, 3));
+  SequentialPrefetcher pf(8);
+  mm.BeginFetch(0);
+  mm.BeginFetch(1);  // 1 frame left.
+  std::vector<uint64_t> out;
+  pf.OnFault(10, &mm, &out);
+  pf.OnFault(11, &mm, &out);
+  EXPECT_EQ(out.size(), 1u);  // Only one frame available for prefetch.
+}
+
+TEST(Prefetcher, StopsAtAddressSpaceEnd) {
+  Engine e;
+  MemoryManager mm(&e, Opts(16, 16));
+  SequentialPrefetcher pf(8);
+  std::vector<uint64_t> out;
+  pf.OnFault(14, &mm, &out);
+  pf.OnFault(15, &mm, &out);
+  EXPECT_TRUE(out.empty());  // Page 16 does not exist.
+}
+
+TEST(Prefetcher, WindowCappedAtMax) {
+  Engine e;
+  MemoryManager mm(&e, Opts(4096, 4096));
+  SequentialPrefetcher pf(4);
+  std::vector<uint64_t> out;
+  uint64_t p = 100;
+  pf.OnFault(p, &mm, &out);
+  for (int streak = 0; streak < 10; ++streak) {
+    out.clear();
+    ++p;
+    pf.OnFault(p, &mm, &out);
+    EXPECT_LE(out.size(), 4u);
+    // The pages it reported were actually transitioned.
+    for (uint64_t q : out) {
+      EXPECT_EQ(mm.StateOf(q), PageState::kFetching);
+    }
+    // Mark prefetched pages present so later faults see fresh territory...
+    for (uint64_t q : out) {
+      mm.CompleteFetch(q);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adios

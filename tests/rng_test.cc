@@ -1,0 +1,128 @@
+#include "src/base/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace adios {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = rng.NextInRange(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformMean) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.NextDouble();
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.NextExponential(250.0);
+  }
+  EXPECT_NEAR(sum / n, 250.0, 5.0);
+}
+
+TEST(Rng, BoolProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.NextBool(0.01) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.01, 0.003);
+}
+
+TEST(Zipf, UniformWhenThetaZero) {
+  ZipfGenerator z(100, 0.0, 5);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) {
+    ++counts[z.Next()];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, 1000, 300);
+  }
+}
+
+TEST(Zipf, SkewedHeadWhenThetaHigh) {
+  ZipfGenerator z(100000, 0.99, 5);
+  uint64_t head = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (z.Next() < 100) {
+      ++head;
+    }
+  }
+  // Under theta=0.99 skew the hottest 0.1% of keys draw a large share.
+  EXPECT_GT(head, static_cast<uint64_t>(0.3 * n));
+}
+
+TEST(Zipf, StaysInRange) {
+  ZipfGenerator z(37, 0.9, 123);
+  for (int i = 0; i < 50000; ++i) {
+    EXPECT_LT(z.Next(), 37u);
+  }
+}
+
+TEST(RandomPermutation, IsAPermutation) {
+  auto p = RandomPermutation(1000, 3);
+  std::vector<bool> seen(1000, false);
+  for (uint32_t v : p) {
+    ASSERT_LT(v, 1000u);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(RandomPermutation, SeedChangesOrder) {
+  auto a = RandomPermutation(100, 1);
+  auto b = RandomPermutation(100, 2);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace adios

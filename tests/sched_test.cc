@@ -1,0 +1,161 @@
+// Scheduler-level behavior observed through the assembled system:
+// dispatch policies (Algorithm 1), polling delegation, preemption quanta.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/array_app.h"
+#include "src/apps/rocksdb_app.h"
+#include "src/core/md_system.h"
+
+namespace adios {
+namespace {
+
+ArrayApp::Options MediumArray() {
+  ArrayApp::Options o;
+  o.entries = 1 << 17;  // 8 MiB.
+  return o;
+}
+
+TEST(Dispatch, PfAwareNeverWorseThanRoundRobinOnTail) {
+  // Algorithm 1 balances in-flight fetches across QPs; at high load its
+  // P99.9 must not exceed round-robin's by more than noise.
+  auto run = [](DispatchPolicy policy) {
+    SystemConfig cfg = SystemConfig::Adios();
+    cfg.sched.dispatch_policy = policy;
+    ArrayApp app(MediumArray());
+    MdSystem sys(cfg, &app);
+    return sys.Run(2.0e6, Milliseconds(8), Milliseconds(25));
+  };
+  RunResult pf = run(DispatchPolicy::kPfAware);
+  RunResult rr = run(DispatchPolicy::kRoundRobin);
+  EXPECT_LE(static_cast<double>(pf.e2e.Percentile(99.9)),
+            1.10 * static_cast<double>(rr.e2e.Percentile(99.9)));
+}
+
+TEST(Dispatch, WorkersShareLoadEvenly) {
+  SystemConfig cfg = SystemConfig::Adios();
+  ArrayApp app(MediumArray());
+  MdSystem sys(cfg, &app);
+  RunResult r = sys.Run(1.0e6, Milliseconds(5), Milliseconds(20));
+  ASSERT_EQ(r.sent, r.completed + r.dropped);
+  uint64_t min_c = ~0ull;
+  uint64_t max_c = 0;
+  for (auto& w : sys.workers()) {
+    min_c = std::min(min_c, w->completed());
+    max_c = std::max(max_c, w->completed());
+  }
+  EXPECT_GT(min_c, 0u);
+  EXPECT_LT(static_cast<double>(max_c), 1.5 * static_cast<double>(min_c));
+}
+
+TEST(PollingDelegation, DisablingItAddsTxWait) {
+  auto run = [](bool delegation) {
+    SystemConfig cfg = SystemConfig::Adios();
+    cfg.sched.polling_delegation = delegation;
+    ArrayApp app(MediumArray());
+    MdSystem sys(cfg, &app);
+    return sys.Run(600000, Milliseconds(5), Milliseconds(15));
+  };
+  RunResult with = run(true);
+  RunResult without = run(false);
+  uint64_t tx_with = 0;
+  uint64_t tx_without = 0;
+  for (const auto& s : with.samples) {
+    tx_with += s.tx_ns;
+  }
+  for (const auto& s : without.samples) {
+    tx_without += s.tx_ns;
+  }
+  EXPECT_EQ(tx_with, 0u);
+  EXPECT_GT(tx_without, 0u);
+}
+
+TEST(PollingDelegation, BetterLatencyNearSaturation) {
+  // Fig. 9: near the no-delegation saturation point, delegation removes the
+  // synchronous TX wait from every request (median) and its HOL effects
+  // (tail). Peak-throughput gains depend on the binding resource; latency
+  // gains are the robust property.
+  auto run = [](bool delegation) {
+    SystemConfig cfg = SystemConfig::Adios();
+    cfg.sched.polling_delegation = delegation;
+    ArrayApp app(MediumArray());
+    MdSystem sys(cfg, &app);
+    return sys.Run(2.2e6, Milliseconds(8), Milliseconds(25));
+  };
+  RunResult with = run(true);
+  RunResult without = run(false);
+  EXPECT_LT(with.e2e.P50(), without.e2e.P50());
+  EXPECT_LE(with.e2e.P999(), without.e2e.P999());
+  EXPECT_GE(with.throughput_rps, 0.98 * without.throughput_rps);
+}
+
+TEST(Preemption, RespectsQuantumOnLongScans) {
+  // SCAN(100) runs for far more than 5 us; DiLOS-P must preempt it several
+  // times, while plain DiLOS never requeues.
+  RocksDbApp::Options ro;
+  ro.num_keys = 1 << 14;
+  ro.value_bytes = 256;
+  ro.scan_fraction = 1.0;  // Scans only.
+  auto run = [&ro](SystemConfig cfg) {
+    RocksDbApp app(ro);
+    MdSystem sys(cfg, &app);
+    return sys.Run(5000, Milliseconds(5), Milliseconds(20));
+  };
+  RunResult p = run(SystemConfig::DiLOSP());
+  RunResult d = run(SystemConfig::DiLOS());
+  EXPECT_EQ(d.requeues, 0u);
+  ASSERT_GT(p.measured, 20u);
+  EXPECT_GT(p.requeues, p.measured);  // Multiple preemptions per scan.
+}
+
+TEST(Preemption, ShorterIntervalPreemptsMore) {
+  RocksDbApp::Options ro;
+  ro.num_keys = 1 << 14;
+  ro.value_bytes = 256;
+  ro.scan_fraction = 1.0;
+  auto run = [&ro](SimDuration interval) {
+    SystemConfig cfg = SystemConfig::DiLOSP();
+    cfg.sched.preempt_interval_ns = interval;
+    RocksDbApp app(ro);
+    MdSystem sys(cfg, &app);
+    return sys.Run(5000, Milliseconds(5), Milliseconds(15));
+  };
+  RunResult fast = run(2000);
+  RunResult slow = run(20000);
+  EXPECT_GT(fast.requeues, 2 * slow.requeues);
+}
+
+TEST(QpBackpressure, TinyQpDepthStallsButCompletes) {
+  SystemConfig cfg = SystemConfig::Adios();
+  cfg.fabric.qp_depth = 2;  // Absurdly small: force §5.2's QP-full path.
+  ArrayApp app(MediumArray());
+  MdSystem sys(cfg, &app);
+  RunResult r = sys.Run(1.2e6, Milliseconds(5), Milliseconds(15));
+  EXPECT_EQ(r.sent, r.completed + r.dropped);
+  EXPECT_GT(r.qp_full_stalls, 0u);
+}
+
+TEST(UnithreadPoolBackpressure, TinyPoolStillCompletes) {
+  SystemConfig cfg = SystemConfig::Adios();
+  cfg.pool.count = 16;  // Pool exhaustion exercises dispatcher back-off.
+  ArrayApp app(MediumArray());
+  MdSystem sys(cfg, &app);
+  RunResult r = sys.Run(1.5e6, Milliseconds(5), Milliseconds(15));
+  EXPECT_EQ(r.sent, r.completed + r.dropped);
+  EXPECT_GT(r.measured, 1000u);
+}
+
+TEST(Reclaim, TinyLocalCacheDoesNotDeadlock) {
+  SystemConfig cfg = SystemConfig::Adios();
+  cfg.local_memory_ratio = 0.02;  // Brutal memory pressure.
+  ArrayApp::Options ao;
+  ao.entries = 1 << 16;
+  ArrayApp app(ao);
+  MdSystem sys(cfg, &app);
+  RunResult r = sys.Run(400000, Milliseconds(5), Milliseconds(15));
+  EXPECT_EQ(r.sent, r.completed + r.dropped);
+  EXPECT_GT(r.measured, 1000u);
+}
+
+}  // namespace
+}  // namespace adios

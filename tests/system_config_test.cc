@@ -1,0 +1,66 @@
+#include "src/core/system_config.h"
+
+#include <gtest/gtest.h>
+
+namespace adios {
+namespace {
+
+TEST(SystemConfig, AdiosPresetMatchesPaper) {
+  const SystemConfig c = SystemConfig::Adios();
+  EXPECT_EQ(c.name, "Adios");
+  EXPECT_EQ(c.sched.fault_policy, FaultPolicy::kYield);
+  EXPECT_EQ(c.sched.dispatch_policy, DispatchPolicy::kPfAware);
+  EXPECT_TRUE(c.sched.polling_delegation);
+  EXPECT_FALSE(c.sched.preemption);
+  EXPECT_TRUE(c.reclaim.proactive);
+  EXPECT_EQ(c.num_workers, 8u);                        // Paper setup (§5).
+  EXPECT_EQ(c.sched.ctx_switch_cycles, 40u);           // Table 1.
+  EXPECT_DOUBLE_EQ(c.local_memory_ratio, 0.2);         // 20% of working set.
+  EXPECT_DOUBLE_EQ(c.reclaim_low_watermark, 0.15);     // §3.3 threshold.
+  EXPECT_EQ(c.clock.mhz(), 2000u);                     // Xeon Gold 6330.
+}
+
+TEST(SystemConfig, DiLosPresetIsBusyWaitingRunToCompletion) {
+  const SystemConfig c = SystemConfig::DiLOS();
+  EXPECT_EQ(c.sched.fault_policy, FaultPolicy::kBusyWait);
+  EXPECT_EQ(c.sched.dispatch_policy, DispatchPolicy::kRoundRobin);
+  EXPECT_FALSE(c.sched.polling_delegation);
+  EXPECT_FALSE(c.sched.preemption);
+  EXPECT_EQ(c.sched.yield_bookkeeping_cycles, 0u);  // No yield path.
+}
+
+TEST(SystemConfig, DiLosPPresetAddsFiveMicrosecondPreemption) {
+  const SystemConfig c = SystemConfig::DiLOSP();
+  EXPECT_EQ(c.sched.fault_policy, FaultPolicy::kBusyWait);
+  EXPECT_TRUE(c.sched.preemption);
+  EXPECT_EQ(c.sched.preempt_interval_ns, 5000u);  // Shinjuku/Concord default.
+}
+
+TEST(SystemConfig, HermitPresetPaysKernelCosts) {
+  const SystemConfig c = SystemConfig::Hermit();
+  EXPECT_EQ(c.sched.fault_policy, FaultPolicy::kKernelBusyWait);
+  EXPECT_GT(c.sched.kernel_fault_extra_cycles, 0u);
+  EXPECT_GT(c.sched.kernel_request_extra_cycles, 0u);
+  EXPECT_GT(c.sched.kernel_jitter_prob, 0.0);
+}
+
+TEST(SystemConfig, DefaultPoolUsesUniversalStackBuffers) {
+  const UnithreadPool::Options p = SystemConfig::DefaultPool();
+  EXPECT_GT(p.count, 1000u);  // Pre-allocated for bursts (paper: 131072).
+  EXPECT_GT(p.buffer_size, p.mtu + sizeof(UnithreadContext) + 4096);
+}
+
+TEST(FabricDefaults, UnloadedFetchWithinPaperRange) {
+  const FabricParams p;
+  // Sum the unloaded pipeline for a 4 KB READ; must land in 2-3 us (§3).
+  const SimDuration fetch = p.wqe_process_ns +
+                            FabricParams::SerializationNs(p.header_bytes, p.link_gbps) +
+                            p.wire_latency_ns + p.remote_dma_ns +
+                            FabricParams::SerializationNs(4096 + p.header_bytes, p.link_gbps) +
+                            p.wire_latency_ns + p.cqe_deliver_ns;
+  EXPECT_GE(fetch, 2000u);
+  EXPECT_LE(fetch, 3000u);
+}
+
+}  // namespace
+}  // namespace adios

@@ -1,0 +1,63 @@
+#include "src/base/table_printer.h"
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+namespace adios {
+namespace {
+
+std::string Capture(void (*fn)(std::FILE*)) {
+  char buf[4096] = {};
+  std::FILE* f = fmemopen(buf, sizeof(buf), "w");
+  fn(f);
+  std::fclose(f);
+  return std::string(buf);
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  const std::string out = Capture([](std::FILE* f) {
+    TablePrinter t({"a", "longheader"});
+    t.AddRow({"xxxx", "1"});
+    t.Print(f);
+  });
+  // Header row, rule, data row.
+  EXPECT_NE(out.find("a     longheader"), std::string::npos);
+  EXPECT_NE(out.find("xxxx  1"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TablePrinter, ShortRowsPadded) {
+  const std::string out = Capture([](std::FILE* f) {
+    TablePrinter t({"a", "b", "c"});
+    t.AddRow({"1"});  // Missing cells become empty.
+    t.Print(f);
+  });
+  EXPECT_NE(out.find("1"), std::string::npos);
+}
+
+TEST(TablePrinter, CsvEscapesCommas) {
+  const std::string out = Capture([](std::FILE* f) {
+    TablePrinter t({"name", "value"});
+    t.AddRow({"a,b", "2"});
+    t.WriteCsv(f);
+  });
+  EXPECT_NE(out.find("name,value\n"), std::string::npos);
+  EXPECT_NE(out.find("\"a,b\",2\n"), std::string::npos);
+}
+
+TEST(TablePrinter, RowCount) {
+  TablePrinter t({"x"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.AddRow({"1"});
+  t.AddRow({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+}
+
+}  // namespace
+}  // namespace adios

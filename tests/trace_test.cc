@@ -1,0 +1,109 @@
+#include "src/sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/array_app.h"
+#include "src/apps/memcached_app.h"
+#include "src/core/md_system.h"
+
+namespace adios {
+namespace {
+
+TEST(Tracer, DisabledRecordsNothing) {
+  Tracer t;
+  t.Record(1, 1, TraceEvent::kArrive);
+  EXPECT_TRUE(t.records().empty());
+}
+
+TEST(Tracer, CapacityBounds) {
+  Tracer t;
+  t.Enable(3);
+  for (int i = 0; i < 10; ++i) {
+    t.Record(static_cast<SimTime>(i), 1, TraceEvent::kArrive);
+  }
+  EXPECT_EQ(t.records().size(), 3u);
+}
+
+TEST(Tracer, ForRequestFilters) {
+  Tracer t;
+  t.Enable(16);
+  t.Record(1, 7, TraceEvent::kArrive);
+  t.Record(2, 8, TraceEvent::kArrive);
+  t.Record(3, 7, TraceEvent::kDone);
+  const auto recs = t.ForRequest(7);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].event, TraceEvent::kArrive);
+  EXPECT_EQ(recs[1].event, TraceEvent::kDone);
+}
+
+TEST(Tracer, EventNamesComplete) {
+  for (uint8_t e = 0; e <= static_cast<uint8_t>(TraceEvent::kDone); ++e) {
+    EXPECT_STRNE(TraceEventName(static_cast<TraceEvent>(e)), "?");
+  }
+}
+
+TEST(TraceIntegration, YieldingRequestTimelineIsWellFormed) {
+  ArrayApp::Options ao;
+  ao.entries = 1 << 16;
+  ArrayApp app(ao);
+  MdSystem sys(SystemConfig::Adios(), &app);
+  sys.tracer().Enable(1 << 18);
+  RunResult r = sys.Run(300000, Milliseconds(3), Milliseconds(6));
+  ASSERT_GT(r.measured, 100u);
+
+  // Find a request that faulted and check its event ordering.
+  uint64_t with_fault = 0;
+  for (const auto& rec : sys.tracer().records()) {
+    if (rec.event == TraceEvent::kFault) {
+      with_fault = rec.request_id;
+      break;
+    }
+  }
+  ASSERT_NE(with_fault, 0u);
+  const auto recs = sys.tracer().ForRequest(with_fault);
+  ASSERT_GE(recs.size(), 5u);
+  // arrive -> dispatch -> start -> fault -> fetch-done -> resume -> done,
+  // monotone in time.
+  EXPECT_EQ(recs.front().event, TraceEvent::kArrive);
+  EXPECT_EQ(recs.back().event, TraceEvent::kDone);
+  SimTime prev = 0;
+  bool saw_fault = false;
+  bool saw_resume = false;
+  for (const auto& rec : recs) {
+    EXPECT_GE(rec.time, prev);
+    prev = rec.time;
+    saw_fault |= rec.event == TraceEvent::kFault;
+    saw_resume |= rec.event == TraceEvent::kResume;
+  }
+  EXPECT_TRUE(saw_fault);
+  EXPECT_TRUE(saw_resume);  // Yield policy resumes after the fetch.
+}
+
+TEST(TraceIntegration, BusyWaitingNeverResumes) {
+  ArrayApp::Options ao;
+  ao.entries = 1 << 16;
+  ArrayApp app(ao);
+  MdSystem sys(SystemConfig::DiLOS(), &app);
+  sys.tracer().Enable(1 << 18);
+  sys.Run(300000, Milliseconds(3), Milliseconds(6));
+  for (const auto& rec : sys.tracer().records()) {
+    EXPECT_NE(rec.event, TraceEvent::kResume);  // Run-to-completion.
+  }
+}
+
+TEST(MemcachedSetMix, SetsDirtyPagesAndVerify) {
+  MemcachedApp::Options o;
+  o.num_keys = 1 << 15;
+  o.set_fraction = 0.3;
+  MemcachedApp app(o);
+  MdSystem sys(SystemConfig::Adios(), &app);
+  RunResult r = sys.Run(300000, Milliseconds(4), Milliseconds(10));
+  EXPECT_EQ(r.sent, r.completed + r.dropped);
+  EXPECT_GT(r.ops[MemcachedApp::kOpSet].e2e.count(), 100u);
+  EXPECT_GT(r.ops[MemcachedApp::kOpGet].e2e.count(), 500u);
+  // Writes produce dirty evictions (write-back over RDMA).
+  EXPECT_GT(r.mem.evictions_dirty, 0u);
+}
+
+}  // namespace
+}  // namespace adios
