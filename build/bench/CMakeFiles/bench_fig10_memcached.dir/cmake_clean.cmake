@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_memcached.dir/bench_fig10_memcached.cc.o"
+  "CMakeFiles/bench_fig10_memcached.dir/bench_fig10_memcached.cc.o.d"
+  "bench_fig10_memcached"
+  "bench_fig10_memcached.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_memcached.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

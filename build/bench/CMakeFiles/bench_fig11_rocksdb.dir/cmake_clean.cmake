@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_rocksdb.dir/bench_fig11_rocksdb.cc.o"
+  "CMakeFiles/bench_fig11_rocksdb.dir/bench_fig11_rocksdb.cc.o.d"
+  "bench_fig11_rocksdb"
+  "bench_fig11_rocksdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_rocksdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_silo.dir/bench_fig12_silo.cc.o"
+  "CMakeFiles/bench_fig12_silo.dir/bench_fig12_silo.cc.o.d"
+  "bench_fig12_silo"
+  "bench_fig12_silo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_silo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_faiss.dir/bench_fig13_faiss.cc.o"
+  "CMakeFiles/bench_fig13_faiss.dir/bench_fig13_faiss.cc.o.d"
+  "bench_fig13_faiss"
+  "bench_fig13_faiss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_faiss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

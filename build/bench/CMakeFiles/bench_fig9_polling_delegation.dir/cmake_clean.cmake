@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_polling_delegation.dir/bench_fig9_polling_delegation.cc.o"
+  "CMakeFiles/bench_fig9_polling_delegation.dir/bench_fig9_polling_delegation.cc.o.d"
+  "bench_fig9_polling_delegation"
+  "bench_fig9_polling_delegation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_polling_delegation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

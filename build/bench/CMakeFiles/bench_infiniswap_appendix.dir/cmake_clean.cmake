@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_infiniswap_appendix.dir/bench_infiniswap_appendix.cc.o"
+  "CMakeFiles/bench_infiniswap_appendix.dir/bench_infiniswap_appendix.cc.o.d"
+  "bench_infiniswap_appendix"
+  "bench_infiniswap_appendix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_infiniswap_appendix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_ctxswitch.dir/bench_table1_ctxswitch.cc.o"
+  "CMakeFiles/bench_table1_ctxswitch.dir/bench_table1_ctxswitch.cc.o.d"
+  "bench_table1_ctxswitch"
+  "bench_table1_ctxswitch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_ctxswitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

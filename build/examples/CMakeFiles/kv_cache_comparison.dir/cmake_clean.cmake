@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_cache_comparison.dir/kv_cache_comparison.cpp.o"
+  "CMakeFiles/kv_cache_comparison.dir/kv_cache_comparison.cpp.o.d"
+  "kv_cache_comparison"
+  "kv_cache_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_cache_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oltp_on_far_memory.dir/oltp_on_far_memory.cpp.o"
+  "CMakeFiles/oltp_on_far_memory.dir/oltp_on_far_memory.cpp.o.d"
+  "oltp_on_far_memory"
+  "oltp_on_far_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oltp_on_far_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for oltp_on_far_memory.
+# This may be replaced when dependencies are built.

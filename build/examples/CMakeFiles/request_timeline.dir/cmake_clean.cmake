@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/request_timeline.dir/request_timeline.cpp.o"
+  "CMakeFiles/request_timeline.dir/request_timeline.cpp.o.d"
+  "request_timeline"
+  "request_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/request_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

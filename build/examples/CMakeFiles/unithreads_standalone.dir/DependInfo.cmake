@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/unithreads_standalone.cpp" "examples/CMakeFiles/unithreads_standalone.dir/unithreads_standalone.cpp.o" "gcc" "examples/CMakeFiles/unithreads_standalone.dir/unithreads_standalone.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/adios_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/adios_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/adios_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/adios_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/adios_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/adios_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/adios_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/unithread/CMakeFiles/adios_unithread.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/adios_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unithreads_standalone.dir/unithreads_standalone.cpp.o"
+  "CMakeFiles/unithreads_standalone.dir/unithreads_standalone.cpp.o.d"
+  "unithreads_standalone"
+  "unithreads_standalone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unithreads_standalone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

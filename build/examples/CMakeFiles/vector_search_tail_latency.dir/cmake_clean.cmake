@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vector_search_tail_latency.dir/vector_search_tail_latency.cpp.o"
+  "CMakeFiles/vector_search_tail_latency.dir/vector_search_tail_latency.cpp.o.d"
+  "vector_search_tail_latency"
+  "vector_search_tail_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vector_search_tail_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adios_apps.dir/faiss_app.cc.o"
+  "CMakeFiles/adios_apps.dir/faiss_app.cc.o.d"
+  "CMakeFiles/adios_apps.dir/memcached_app.cc.o"
+  "CMakeFiles/adios_apps.dir/memcached_app.cc.o.d"
+  "CMakeFiles/adios_apps.dir/rocksdb_app.cc.o"
+  "CMakeFiles/adios_apps.dir/rocksdb_app.cc.o.d"
+  "CMakeFiles/adios_apps.dir/silo_app.cc.o"
+  "CMakeFiles/adios_apps.dir/silo_app.cc.o.d"
+  "libadios_apps.a"
+  "libadios_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adios_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

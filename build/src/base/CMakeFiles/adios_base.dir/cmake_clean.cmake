@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adios_base.dir/histogram.cc.o"
+  "CMakeFiles/adios_base.dir/histogram.cc.o.d"
+  "CMakeFiles/adios_base.dir/tsc.cc.o"
+  "CMakeFiles/adios_base.dir/tsc.cc.o.d"
+  "libadios_base.a"
+  "libadios_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adios_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadios_base.a"
+)

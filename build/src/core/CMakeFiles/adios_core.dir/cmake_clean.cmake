@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adios_core.dir/md_system.cc.o"
+  "CMakeFiles/adios_core.dir/md_system.cc.o.d"
+  "libadios_core.a"
+  "libadios_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adios_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

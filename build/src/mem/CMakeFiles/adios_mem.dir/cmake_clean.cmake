@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adios_mem.dir/memory_manager.cc.o"
+  "CMakeFiles/adios_mem.dir/memory_manager.cc.o.d"
+  "CMakeFiles/adios_mem.dir/reclaimer.cc.o"
+  "CMakeFiles/adios_mem.dir/reclaimer.cc.o.d"
+  "libadios_mem.a"
+  "libadios_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adios_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

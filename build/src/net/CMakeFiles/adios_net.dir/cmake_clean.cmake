@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adios_net.dir/load_generator.cc.o"
+  "CMakeFiles/adios_net.dir/load_generator.cc.o.d"
+  "libadios_net.a"
+  "libadios_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adios_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adios_rdma.dir/fabric.cc.o"
+  "CMakeFiles/adios_rdma.dir/fabric.cc.o.d"
+  "CMakeFiles/adios_rdma.dir/fair_link.cc.o"
+  "CMakeFiles/adios_rdma.dir/fair_link.cc.o.d"
+  "libadios_rdma.a"
+  "libadios_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adios_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

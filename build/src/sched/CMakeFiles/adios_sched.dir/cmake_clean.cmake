@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adios_sched.dir/dispatcher.cc.o"
+  "CMakeFiles/adios_sched.dir/dispatcher.cc.o.d"
+  "CMakeFiles/adios_sched.dir/worker.cc.o"
+  "CMakeFiles/adios_sched.dir/worker.cc.o.d"
+  "libadios_sched.a"
+  "libadios_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adios_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

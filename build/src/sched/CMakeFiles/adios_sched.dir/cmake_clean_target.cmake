@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadios_sched.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adios_sim.dir/engine.cc.o"
+  "CMakeFiles/adios_sim.dir/engine.cc.o.d"
+  "CMakeFiles/adios_sim.dir/trace.cc.o"
+  "CMakeFiles/adios_sim.dir/trace.cc.o.d"
+  "libadios_sim.a"
+  "libadios_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adios_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

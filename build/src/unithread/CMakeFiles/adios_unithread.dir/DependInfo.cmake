@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  "ASM"
+  )
+# The set of files for implicit dependencies of each language:
+set(CMAKE_DEPENDS_CHECK_ASM
+  "/root/repo/src/unithread/context_switch_x86_64.S" "/root/repo/build/src/unithread/CMakeFiles/adios_unithread.dir/context_switch_x86_64.S.o"
+  )
+set(CMAKE_ASM_COMPILER_ID "GNU")
+
+# The include file search paths:
+set(CMAKE_ASM_TARGET_INCLUDE_PATH
+  "/root/repo"
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/unithread/context.cc" "src/unithread/CMakeFiles/adios_unithread.dir/context.cc.o" "gcc" "src/unithread/CMakeFiles/adios_unithread.dir/context.cc.o.d"
+  "/root/repo/src/unithread/cooperative_scheduler.cc" "src/unithread/CMakeFiles/adios_unithread.dir/cooperative_scheduler.cc.o" "gcc" "src/unithread/CMakeFiles/adios_unithread.dir/cooperative_scheduler.cc.o.d"
+  "/root/repo/src/unithread/universal_stack.cc" "src/unithread/CMakeFiles/adios_unithread.dir/universal_stack.cc.o" "gcc" "src/unithread/CMakeFiles/adios_unithread.dir/universal_stack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/adios_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

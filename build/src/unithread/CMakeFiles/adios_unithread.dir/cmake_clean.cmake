@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adios_unithread.dir/context.cc.o"
+  "CMakeFiles/adios_unithread.dir/context.cc.o.d"
+  "CMakeFiles/adios_unithread.dir/context_switch_x86_64.S.o"
+  "CMakeFiles/adios_unithread.dir/cooperative_scheduler.cc.o"
+  "CMakeFiles/adios_unithread.dir/cooperative_scheduler.cc.o.d"
+  "CMakeFiles/adios_unithread.dir/universal_stack.cc.o"
+  "CMakeFiles/adios_unithread.dir/universal_stack.cc.o.d"
+  "libadios_unithread.a"
+  "libadios_unithread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang ASM CXX)
+  include(CMakeFiles/adios_unithread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/base_util_test.dir/base_util_test.cc.o"
+  "CMakeFiles/base_util_test.dir/base_util_test.cc.o.d"
+  "base_util_test"
+  "base_util_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/base_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooperative_scheduler_test.dir/cooperative_scheduler_test.cc.o"
+  "CMakeFiles/cooperative_scheduler_test.dir/cooperative_scheduler_test.cc.o.d"
+  "cooperative_scheduler_test"
+  "cooperative_scheduler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooperative_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cooperative_scheduler_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fair_link_test.dir/fair_link_test.cc.o"
+  "CMakeFiles/fair_link_test.dir/fair_link_test.cc.o.d"
+  "fair_link_test"
+  "fair_link_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fair_link_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

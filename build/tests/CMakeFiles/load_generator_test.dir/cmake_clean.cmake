@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_generator_test.dir/load_generator_test.cc.o"
+  "CMakeFiles/load_generator_test.dir/load_generator_test.cc.o.d"
+  "load_generator_test"
+  "load_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_system_test.dir/md_system_test.cc.o"
+  "CMakeFiles/md_system_test.dir/md_system_test.cc.o.d"
+  "md_system_test"
+  "md_system_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

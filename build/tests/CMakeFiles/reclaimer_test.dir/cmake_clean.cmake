@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reclaimer_test.dir/reclaimer_test.cc.o"
+  "CMakeFiles/reclaimer_test.dir/reclaimer_test.cc.o.d"
+  "reclaimer_test"
+  "reclaimer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reclaimer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_heap_test.dir/remote_heap_test.cc.o"
+  "CMakeFiles/remote_heap_test.dir/remote_heap_test.cc.o.d"
+  "remote_heap_test"
+  "remote_heap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_heap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

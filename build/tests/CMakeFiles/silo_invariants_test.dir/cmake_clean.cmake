@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silo_invariants_test.dir/silo_invariants_test.cc.o"
+  "CMakeFiles/silo_invariants_test.dir/silo_invariants_test.cc.o.d"
+  "silo_invariants_test"
+  "silo_invariants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silo_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

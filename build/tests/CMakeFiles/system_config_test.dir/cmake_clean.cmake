@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_config_test.dir/system_config_test.cc.o"
+  "CMakeFiles/system_config_test.dir/system_config_test.cc.o.d"
+  "system_config_test"
+  "system_config_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worker_flow_test.dir/worker_flow_test.cc.o"
+  "CMakeFiles/worker_flow_test.dir/worker_flow_test.cc.o.d"
+  "worker_flow_test"
+  "worker_flow_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worker_flow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
