@@ -48,6 +48,13 @@ MdSystem::MdSystem(const SystemConfig& config, Application* app) : config_(confi
     fabric_params.qp_depth = static_cast<uint32_t>(safe_depth);
   }
   fabric_ = std::make_unique<RdmaFabric>(&engine_, fabric_params);
+  if (config_.fault.enabled()) {
+    injector_ = std::make_unique<FaultInjector>(config_.fault);
+    fabric_->set_fault_injector(injector_.get());
+    // A lossy fabric without a retry layer wedges workers on fetches that
+    // never complete; the deadline/retry pipeline comes with the injector.
+    config_.retry.enabled = true;
+  }
 
   // --- Cores ---
   dispatcher_core_ = std::make_unique<CpuCore>(&engine_, config_.clock, "dispatcher");
@@ -78,6 +85,7 @@ MdSystem::MdSystem(const SystemConfig& config, Application* app) : config_(confi
     QueuePair* client_qp = fabric_->CreateQp(client_cq);
     SchedConfig wcfg = config_.sched;
     wcfg.seed = config_.seed;
+    wcfg.retry = config_.retry;
     auto worker = std::make_unique<Worker>(i, &engine_, worker_cores_[i].get(), mm_.get(),
                                            pool_.get(), mem_qp, client_qp, wcfg, handler,
                                            on_reply);
@@ -99,8 +107,10 @@ MdSystem::MdSystem(const SystemConfig& config, Application* app) : config_(confi
   // --- Reclaimer ---
   CompletionQueue* reclaim_cq = fabric_->CreateCq();
   QueuePair* reclaim_qp = fabric_->CreateQp(reclaim_cq);
+  Reclaimer::Options reclaim_opts = config_.reclaim;
+  reclaim_opts.retry = config_.retry;
   reclaimer_ = std::make_unique<Reclaimer>(&engine_, reclaimer_core_.get(), mm_.get(),
-                                           reclaim_qp, config_.reclaim);
+                                           reclaim_qp, reclaim_opts);
 }
 
 MdSystem::~MdSystem() = default;
@@ -199,6 +209,16 @@ RunResult MdSystem::Run(double offered_rps, SimDuration warmup_ns, SimDuration m
     r.worker_yields += w->yields();
     r.qp_full_stalls += w->qp_full_stalls();
     r.requeues += w->preempt_fires();
+    r.fetch_retries += w->fetch_retries();
+    r.fetch_timeouts += w->fetch_timeouts();
+  }
+  r.goodput_rps = loadgen_->GoodputRps();
+  r.requests_failed = loadgen_->failed();
+  r.writeback_retries = reclaimer_->writeback_retries();
+  r.writeback_timeouts = reclaimer_->writeback_timeouts();
+  r.writeback_aborts = reclaimer_->writeback_aborts();
+  if (injector_ != nullptr) {
+    r.brownout_ns = injector_->DegradedNs(engine_.now());
   }
   r.mean_outstanding_pf = pf_mean_stats.mean();
   r.pf_imbalance_stddev = pf_stddev_stats.mean();

@@ -45,6 +45,9 @@ class MdSystem {
   MemoryManager& memory_manager() { return *mm_; }
   RdmaFabric& fabric() { return *fabric_; }
   Dispatcher& dispatcher() { return *dispatcher_; }
+  Reclaimer& reclaimer() { return *reclaimer_; }
+  // Null unless config.fault.enabled().
+  FaultInjector* fault_injector() { return injector_.get(); }
   std::vector<std::unique_ptr<Worker>>& workers() { return workers_; }
   RemoteRegion& region() { return *region_; }
   const SystemConfig& config() const { return config_; }
@@ -56,6 +59,7 @@ class MdSystem {
   Tracer tracer_;
   std::unique_ptr<RemoteRegion> region_;
   std::unique_ptr<RemoteHeap> heap_;
+  std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<RdmaFabric> fabric_;
   std::unique_ptr<MemoryManager> mm_;
   std::vector<std::unique_ptr<CpuCore>> worker_cores_;

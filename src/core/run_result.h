@@ -65,6 +65,18 @@ struct RunResult {
   uint64_t worker_yields = 0;
   uint64_t qp_full_stalls = 0;
 
+  // --- Fault tolerance (docs/FAULT_MODEL.md; all zero when injection is
+  // off) ---
+  double goodput_rps = 0.0;      // Successful completions/s (== throughput
+                                 // when nothing fails).
+  uint64_t requests_failed = 0;  // Error replies after fetch-retry exhaustion.
+  uint64_t fetch_retries = 0;    // Software fetch reposts across workers.
+  uint64_t fetch_timeouts = 0;   // Fetch deadlines that expired.
+  uint64_t writeback_retries = 0;
+  uint64_t writeback_timeouts = 0;
+  uint64_t writeback_aborts = 0;  // Write-backs dropped after retry exhaustion.
+  uint64_t brownout_ns = 0;       // Simulated time inside degraded windows.
+
   std::vector<RequestSample> samples;
 
   // Computes component breakdowns at the given server-latency percentiles.

@@ -17,6 +17,7 @@
 
 #include "src/base/time.h"
 #include "src/mem/reclaimer.h"
+#include "src/rdma/fault_injector.h"
 #include "src/rdma/params.h"
 #include "src/sched/config.h"
 #include "src/unithread/universal_stack.h"
@@ -31,6 +32,17 @@ struct SystemConfig {
   SchedConfig sched;
   FabricParams fabric;
   Reclaimer::Options reclaim;
+
+  // Fault injection (docs/FAULT_MODEL.md). All-zero by default: the fabric
+  // stays ideal and the datapath is bit-identical to a build without the
+  // injector. When any knob is set (fault.enabled()), MdSystem installs the
+  // injector and switches on the deadline/retry pipeline below.
+  FaultInjector::Options fault;
+  // Timeout/retry/backoff policy shared by the workers' fetch path and the
+  // reclaimer's write-back path. `retry.enabled` is forced on whenever
+  // fault.enabled(); set it explicitly to run the pipeline on an ideal
+  // fabric (e.g. in tests).
+  RetryPolicy retry;
 
   // Paging granularity (log2 bytes): 12 = 4 KiB compute-node pages as in
   // the paper; 21 = 2 MiB huge pages (512x I/O amplification, §5.2).

@@ -42,7 +42,7 @@ void MemoryManager::BeginFetch(uint64_t vpage, bool prefetch) {
   }
 }
 
-void MemoryManager::AddFetchWaiter(uint64_t vpage, std::function<void()> resume) {
+void MemoryManager::AddFetchWaiter(uint64_t vpage, FetchWaiter resume) {
   ADIOS_DCHECK(StateOf(vpage) == PageState::kFetching);
   fetch_waiters_[vpage].push_back(std::move(resume));
 }
@@ -53,10 +53,27 @@ void MemoryManager::CompleteFetch(uint64_t vpage) {
   if (it == fetch_waiters_.end()) {
     return;
   }
-  std::vector<std::function<void()>> waiters = std::move(it->second);
+  std::vector<FetchWaiter> waiters = std::move(it->second);
   fetch_waiters_.erase(it);
   for (auto& fn : waiters) {
-    fn();
+    fn(/*ok=*/true);
+  }
+}
+
+void MemoryManager::AbortFetch(uint64_t vpage) {
+  ADIOS_CHECK(StateOf(vpage) == PageState::kFetching);
+  page_table_.MarkFetchAborted(vpage);
+  ++stats_.fetch_aborts;
+  std::vector<FetchWaiter> waiters;
+  auto it = fetch_waiters_.find(vpage);
+  if (it != fetch_waiters_.end()) {
+    waiters = std::move(it->second);
+    fetch_waiters_.erase(it);
+  }
+  // The reserved frame returns to the pool (this also wakes frame waiters).
+  ReleaseFrame();
+  for (auto& fn : waiters) {
+    fn(/*ok=*/false);
   }
 }
 

@@ -52,6 +52,7 @@ class MemoryManager {
     uint64_t evictions_clean = 0;
     uint64_t evictions_dirty = 0;
     uint64_t frame_stalls = 0;      // Fault had to wait for a free frame.
+    uint64_t fetch_aborts = 0;      // Fetches abandoned after retry exhaustion.
   };
 
   MemoryManager(Engine* engine, const Options& options);
@@ -116,11 +117,19 @@ class MemoryManager {
   // have checked HasFreeFrame(). `prefetch` only affects stats.
   void BeginFetch(uint64_t vpage, bool prefetch = false);
 
-  // Registers a callback to run when the in-flight fetch of `vpage` maps.
-  void AddFetchWaiter(uint64_t vpage, std::function<void()> resume);
+  // Registers a callback to run when the in-flight fetch of `vpage` settles:
+  // `ok` is true when the page mapped (CompleteFetch) and false when the
+  // fetch was abandoned after retry exhaustion (AbortFetch).
+  using FetchWaiter = std::function<void(bool ok)>;
+  void AddFetchWaiter(uint64_t vpage, FetchWaiter resume);
 
   // Transitions kFetching -> kPresent and runs (then clears) all waiters.
   void CompleteFetch(uint64_t vpage);
+
+  // Fetch retry budget exhausted: transitions kFetching -> kRemote, releases
+  // the reserved frame, and runs all waiters with ok = false (the graceful-
+  // degradation path — waiters fail their requests instead of refetching).
+  void AbortFetch(uint64_t vpage);
 
   // --- Eviction (driven by the reclaimer) ---
 
@@ -145,7 +154,7 @@ class MemoryManager {
   uint64_t used_frames_ = 0;
   WaitQueue frame_waiters_;
   std::deque<std::function<void()>> frame_callbacks_;
-  std::unordered_map<uint64_t, std::vector<std::function<void()>>> fetch_waiters_;
+  std::unordered_map<uint64_t, std::vector<FetchWaiter>> fetch_waiters_;
   std::function<void()> reclaim_kick_;
   Stats stats_;
 };

@@ -75,6 +75,17 @@ class PageTable {
     --resident_;
   }
 
+  // Fetch abandoned after retry exhaustion: the page never mapped, so it
+  // rolls back kFetching -> kRemote (a later fault may refetch it).
+  void MarkFetchAborted(uint64_t vpage) {
+    PageEntry& e = entry(vpage);
+    ADIOS_DCHECK(e.state == PageState::kFetching);
+    e.state = PageState::kRemote;
+    e.referenced = false;
+    e.dirty = false;
+    --fetching_;
+  }
+
   // Clock-algorithm victim selection: advances the hand, clearing reference
   // bits, until an unreferenced resident page is found. Returns num_pages()
   // when nothing is evictable.

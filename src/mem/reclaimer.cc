@@ -39,12 +39,91 @@ void Reclaimer::DrainWriteCompletions() {
     }
     for (size_t i = 0; i < n; ++i) {
       ADIOS_DCHECK(batch[i].type == WorkType::kWrite);
+      if (options_.retry.enabled) {
+        auto it = pending_wb_.find(batch[i].wr_id);
+        if (it == pending_wb_.end()) {
+          continue;  // Late completion for a write-back that already settled.
+        }
+        if (!batch[i].ok()) {
+          it->second.deadline.Cancel();
+          RetryOrDropWriteback(batch[i].wr_id);
+          continue;
+        }
+        it->second.deadline.Cancel();
+        pending_wb_.erase(it);
+      }
       ADIOS_DCHECK(writebacks_inflight_ > 0);
       --writebacks_inflight_;
       mm_->ReleaseFrame();
     }
     core_->Consume(30 * n);  // CQE processing.
   }
+}
+
+void Reclaimer::TrackWriteback(uint64_t vpage) {
+  PendingWriteback& pw = pending_wb_[vpage];
+  pw.attempts = 1;
+  pw.backoff_ns = options_.retry.backoff_base_ns;
+  pw.repost_pending = false;
+  pw.deadline = engine_->ScheduleCancellable(
+      options_.retry.timeout_ns, [this, vpage] { OnWritebackDeadline(vpage); });
+}
+
+void Reclaimer::OnWritebackDeadline(uint64_t vpage) {
+  auto it = pending_wb_.find(vpage);
+  if (it == pending_wb_.end()) {
+    return;  // Settled just before the deadline event ran.
+  }
+  ++writeback_timeouts_;
+  RetryOrDropWriteback(vpage);
+}
+
+void Reclaimer::RetryOrDropWriteback(uint64_t vpage) {
+  auto it = pending_wb_.find(vpage);
+  if (it == pending_wb_.end()) {
+    return;
+  }
+  PendingWriteback& pw = it->second;
+  if (pw.repost_pending) {
+    return;  // An error completion raced with the deadline; one repost suffices.
+  }
+  if (pw.attempts > options_.retry.max_retries) {
+    // Budget exhausted: drop the write-back. The page was unmapped at
+    // eviction, so its frame must still be released; the lost update is
+    // surfaced as writeback_aborts (a real deployment fails over to a
+    // replica here — docs/FAULT_MODEL.md).
+    pw.deadline.Cancel();
+    pending_wb_.erase(it);
+    ++writeback_aborts_;
+    ADIOS_DCHECK(writebacks_inflight_ > 0);
+    --writebacks_inflight_;
+    mm_->ReleaseFrame();
+    // The abort happens off a timer, not a CQ push, so wake the loop
+    // ourselves: it may be parked in cq_wait_ waiting for this write-back.
+    cq_wait_.NotifyAll();
+    sleep_queue_.NotifyAll();
+    return;
+  }
+  ++pw.attempts;
+  ++writeback_retries_;
+  const SimDuration backoff = pw.backoff_ns;
+  pw.backoff_ns = options_.retry.NextBackoff(backoff);
+  pw.repost_pending = true;
+  engine_->Schedule(backoff, [this, vpage] { RepostWriteback(vpage); });
+}
+
+void Reclaimer::RepostWriteback(uint64_t vpage) {
+  auto it = pending_wb_.find(vpage);
+  if (it == pending_wb_.end()) {
+    return;
+  }
+  if (!qp_->PostWrite(mm_->page_bytes(), vpage)) {
+    engine_->Schedule(1000, [this, vpage] { RepostWriteback(vpage); });
+    return;
+  }
+  it->second.repost_pending = false;
+  it->second.deadline = engine_->ScheduleCancellable(
+      options_.retry.timeout_ns, [this, vpage] { OnWritebackDeadline(vpage); });
 }
 
 void Reclaimer::Loop() {
@@ -78,6 +157,9 @@ void Reclaimer::Loop() {
           DrainWriteCompletions();
         }
         ++writebacks_inflight_;
+        if (options_.retry.enabled) {
+          TrackWriteback(victim);
+        }
       }
     }
   }

@@ -15,9 +15,11 @@
 #define ADIOS_SRC_MEM_RECLAIMER_H_
 
 #include <cstdint>
+#include <unordered_map>
 
 #include "src/mem/memory_manager.h"
 #include "src/rdma/fabric.h"
+#include "src/rdma/params.h"
 #include "src/sim/cpu_core.h"
 #include "src/sim/wait_queue.h"
 
@@ -30,6 +32,9 @@ class Reclaimer {
     SimDuration wakeup_delay_ns = 0;  // Scheduling delay for wake-up-based mode.
     uint32_t evict_cycles = 250;    // CPU cost per evicted page.
     uint32_t scan_fail_retry_ns = 2000;  // Backoff when nothing is evictable.
+    // Write-back deadline/retry pipeline; enabled by MdSystem alongside the
+    // fault injector (docs/FAULT_MODEL.md).
+    RetryPolicy retry;
   };
 
   Reclaimer(Engine* engine, CpuCore* core, MemoryManager* mm, QueuePair* qp, Options options);
@@ -42,10 +47,28 @@ class Reclaimer {
 
   uint64_t pages_reclaimed() const { return pages_reclaimed_; }
   uint64_t writebacks_inflight() const { return writebacks_inflight_; }
+  uint64_t writeback_timeouts() const { return writeback_timeouts_; }
+  uint64_t writeback_retries() const { return writeback_retries_; }
+  uint64_t writeback_aborts() const { return writeback_aborts_; }
 
  private:
   void Loop();
   void DrainWriteCompletions();
+
+  // --- Write-back deadline/retry pipeline (mirrors the worker's fetch
+  // pipeline; state machine documented in docs/FAULT_MODEL.md) ---
+  struct PendingWriteback {
+    uint32_t attempts = 1;
+    SimDuration backoff_ns = 0;
+    bool repost_pending = false;
+    Engine::EventHandle deadline;
+  };
+  void TrackWriteback(uint64_t vpage);
+  void OnWritebackDeadline(uint64_t vpage);
+  // Retries while budget remains; otherwise drops the write-back (the frame
+  // is still released — the lost update surfaces as writeback_aborts).
+  void RetryOrDropWriteback(uint64_t vpage);
+  void RepostWriteback(uint64_t vpage);
 
   Engine* engine_;
   CpuCore* core_;
@@ -57,6 +80,10 @@ class Reclaimer {
   bool kicked_ = false;
   uint64_t pages_reclaimed_ = 0;
   uint64_t writebacks_inflight_ = 0;
+  std::unordered_map<uint64_t, PendingWriteback> pending_wb_;
+  uint64_t writeback_timeouts_ = 0;
+  uint64_t writeback_retries_ = 0;
+  uint64_t writeback_aborts_ = 0;
 };
 
 }  // namespace adios

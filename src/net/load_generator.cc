@@ -49,10 +49,21 @@ void LoadGenerator::EmitRequest() {
 void LoadGenerator::OnReply(Request* req) {
   req->reply_time = engine_->now();
   ++completed_;
+  if (req->failed) {
+    ++failed_;
+  }
   const SimTime measure_start = options_.warmup_ns;
   if (req->gen_time >= measure_start) {
     ++measured_completed_;
     last_measured_reply_ = req->reply_time;
+    if (req->failed) {
+      // Error reply: the latency of a failed request is not a service-time
+      // sample (it is dominated by the retry window), and its payload is
+      // garbage — exclude it from the histograms and skip verification.
+      ++measured_failed_;
+      delete req;
+      return;
+    }
     e2e_all_.Add(req->E2eNs());
     if (req->op < e2e_per_op_.size()) {
       e2e_per_op_[req->op].Add(req->E2eNs());
@@ -93,6 +104,14 @@ double LoadGenerator::ThroughputRps() const {
   // belong to offered load within the window.
   const double seconds = static_cast<double>(options_.measure_ns) * 1e-9;
   return static_cast<double>(measured_completed_) / seconds;
+}
+
+double LoadGenerator::GoodputRps() const {
+  if (measured_completed_ <= measured_failed_) {
+    return 0.0;
+  }
+  const double seconds = static_cast<double>(options_.measure_ns) * 1e-9;
+  return static_cast<double>(measured_completed_ - measured_failed_) / seconds;
 }
 
 }  // namespace adios

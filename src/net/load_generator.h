@@ -65,10 +65,16 @@ class LoadGenerator {
   uint64_t completed() const { return completed_; }
   uint64_t dropped() const { return dropped_; }
   uint64_t in_flight() const { return sent_ - completed_ - dropped_; }
+  // Error replies: the request came back, but degraded (a page fetch
+  // exhausted its retry budget). Counted in completed(), not in goodput.
+  uint64_t failed() const { return failed_; }
 
   uint64_t measured_completed() const { return measured_completed_; }
+  uint64_t measured_failed() const { return measured_failed_; }
   // Throughput over the measurement window, in requests/second.
   double ThroughputRps() const;
+  // Successful (non-error) completions per second over the window.
+  double GoodputRps() const;
 
   const Histogram& e2e_all() const { return e2e_all_; }
   const Histogram& e2e_of(uint32_t op) const { return e2e_per_op_[op]; }
@@ -93,7 +99,9 @@ class LoadGenerator {
   uint64_t sent_ = 0;
   uint64_t completed_ = 0;
   uint64_t dropped_ = 0;
+  uint64_t failed_ = 0;
   uint64_t measured_completed_ = 0;
+  uint64_t measured_failed_ = 0;
   SimTime last_measured_reply_ = 0;
 
   Histogram e2e_all_;

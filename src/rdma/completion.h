@@ -22,11 +22,23 @@ enum class WorkType : uint8_t {
   kRecv = 3,   // Raw-Ethernet receive.
 };
 
+// Completion status. The ideal fabric only produces kSuccess; the fault
+// injector surfaces lost/NAKed WQEs as completions-with-error, mirroring how
+// an RC QP reports transport failures (ibv_wc_status).
+enum class CompletionStatus : uint8_t {
+  kSuccess = 0,
+  kRnrNak = 1,         // Receiver-not-ready NAK (IBV_WC_RNR_RETRY_EXC_ERR).
+  kRetryExceeded = 2,  // Transport retries exhausted (IBV_WC_RETRY_EXC_ERR).
+};
+
 struct Completion {
   uint64_t wr_id = 0;
   uint32_t qp_id = 0;
   WorkType type = WorkType::kRead;
   SimTime completed_at = 0;
+  CompletionStatus status = CompletionStatus::kSuccess;
+
+  bool ok() const { return status == CompletionStatus::kSuccess; }
 };
 
 class CompletionQueue {

@@ -67,13 +67,17 @@ bool QueuePair::PostSend(uint64_t bytes, uint64_t wr_id, std::function<void()> o
   return true;
 }
 
-void QueuePair::Complete(uint64_t wr_id, WorkType type) {
+void QueuePair::Complete(uint64_t wr_id, WorkType type, CompletionStatus status) {
   ADIOS_DCHECK(outstanding_ > 0);
   --outstanding_;
-  cq_->Push(Completion{wr_id, id_, type, fabric_->engine()->now()});
+  cq_->Push(Completion{wr_id, id_, type, fabric_->engine()->now(), status});
 }
 
 void RdmaFabric::IssueRead(QueuePair* qp, uint64_t bytes, uint64_t wr_id) {
+  if (injector_ != nullptr) {  // The only injection cost on the ideal path.
+    IssueReadFaulty(qp, bytes, wr_id);
+    return;
+  }
   const uint32_t flow = qp->flow_id();
   const uint64_t hdr = params_.header_bytes;
   wqe_engine_.Enqueue(flow, 0, [this, qp, flow, bytes, hdr, wr_id] {
@@ -91,6 +95,10 @@ void RdmaFabric::IssueRead(QueuePair* qp, uint64_t bytes, uint64_t wr_id) {
 }
 
 void RdmaFabric::IssueWrite(QueuePair* qp, uint64_t bytes, uint64_t wr_id) {
+  if (injector_ != nullptr) {
+    IssueWriteFaulty(qp, bytes, wr_id);
+    return;
+  }
   const uint32_t flow = qp->flow_id();
   const uint64_t hdr = params_.header_bytes;
   wqe_engine_.Enqueue(flow, 0, [this, qp, flow, bytes, hdr, wr_id] {
@@ -99,6 +107,121 @@ void RdmaFabric::IssueWrite(QueuePair* qp, uint64_t bytes, uint64_t wr_id) {
       engine_->Schedule(params_.wire_latency_ns + params_.remote_dma_ns,
                         [this, qp, flow, hdr, wr_id] {
                           // Small ack back to the requester.
+                          m2c_link_.Enqueue(flow, hdr, [this, qp, wr_id] {
+                            engine_->Schedule(
+                                params_.wire_latency_ns + params_.cqe_deliver_ns,
+                                [qp, wr_id] { qp->Complete(wr_id, WorkType::kWrite); });
+                          });
+                        });
+    });
+  });
+}
+
+void RdmaFabric::IssueReadFaulty(QueuePair* qp, uint64_t bytes, uint64_t wr_id) {
+  const FaultInjector::Verdict v = injector_->Classify(WorkType::kRead, engine_->now());
+  const uint32_t flow = qp->flow_id();
+  const uint64_t hdr = params_.header_bytes;
+  switch (v.action) {
+    case FaultInjector::Action::kDrop: {
+      // The request still occupies the WQE engine and the c2m link (the loss
+      // happens on the wire or at a dead memory node); no response ever
+      // comes. The transport layer gives up drop_detect_ns after the post
+      // and flushes the WQE as a completion-with-error.
+      wqe_engine_.Enqueue(flow, 0, [this, flow, hdr] {
+        c2m_link_.Enqueue(flow, hdr, [] {});
+      });
+      engine_->Schedule(injector_->options().drop_detect_ns, [qp, wr_id] {
+        qp->Complete(wr_id, WorkType::kRead, CompletionStatus::kRetryExceeded);
+      });
+      return;
+    }
+    case FaultInjector::Action::kNack: {
+      // The memory node answers receiver-not-ready: no DMA, no payload, just
+      // a NAK surfacing one short RTT after the request serialized.
+      wqe_engine_.Enqueue(flow, 0, [this, qp, flow, hdr, wr_id] {
+        c2m_link_.Enqueue(flow, hdr, [this, qp, wr_id] {
+          engine_->Schedule(injector_->options().nack_rtt_ns, [qp, wr_id] {
+            qp->Complete(wr_id, WorkType::kRead, CompletionStatus::kRnrNak);
+          });
+        });
+      });
+      return;
+    }
+    case FaultInjector::Action::kDeliver:
+    case FaultInjector::Action::kDelay:
+    case FaultInjector::Action::kDuplicate:
+      break;
+  }
+  const SimDuration spike = v.action == FaultInjector::Action::kDelay ? v.extra_ns : 0;
+  const SimDuration dup_lag =
+      v.action == FaultInjector::Action::kDuplicate ? v.extra_ns : 0;
+  wqe_engine_.Enqueue(flow, 0, [this, qp, flow, bytes, hdr, wr_id, spike, dup_lag] {
+    c2m_link_.Enqueue(flow, hdr, [this, qp, flow, bytes, hdr, wr_id, spike, dup_lag] {
+      // Brownout: the DMA engine is rate-limited while the window is open.
+      const SimDuration dma =
+          params_.remote_dma_ns + injector_->DmaPenaltyNs(engine_->now(), params_.remote_dma_ns);
+      engine_->Schedule(params_.wire_latency_ns + dma + spike,
+                        [this, qp, flow, bytes, hdr, wr_id, dup_lag] {
+                          m2c_link_.Enqueue(flow, bytes + hdr, [this, qp, wr_id, dup_lag] {
+                            engine_->Schedule(
+                                params_.wire_latency_ns + params_.cqe_deliver_ns,
+                                [this, qp, wr_id, dup_lag] {
+                                  qp->Complete(wr_id, WorkType::kRead);
+                                  if (dup_lag > 0) {
+                                    // Retransmit race: the same response lands
+                                    // twice. The duplicate bypasses the
+                                    // outstanding counter (the WQE already
+                                    // retired) — requesters must deduplicate.
+                                    engine_->Schedule(dup_lag, [this, qp, wr_id] {
+                                      qp->cq()->Push(Completion{wr_id, qp->id(),
+                                                                WorkType::kRead,
+                                                                engine_->now()});
+                                    });
+                                  }
+                                });
+                          });
+                        });
+    });
+  });
+}
+
+void RdmaFabric::IssueWriteFaulty(QueuePair* qp, uint64_t bytes, uint64_t wr_id) {
+  const FaultInjector::Verdict v = injector_->Classify(WorkType::kWrite, engine_->now());
+  const uint32_t flow = qp->flow_id();
+  const uint64_t hdr = params_.header_bytes;
+  switch (v.action) {
+    case FaultInjector::Action::kDrop: {
+      // Payload burned c2m bandwidth, then was lost (or the ack was).
+      wqe_engine_.Enqueue(flow, 0, [this, flow, bytes, hdr] {
+        c2m_link_.Enqueue(flow, bytes + hdr, [] {});
+      });
+      engine_->Schedule(injector_->options().drop_detect_ns, [qp, wr_id] {
+        qp->Complete(wr_id, WorkType::kWrite, CompletionStatus::kRetryExceeded);
+      });
+      return;
+    }
+    case FaultInjector::Action::kNack: {
+      wqe_engine_.Enqueue(flow, 0, [this, qp, flow, bytes, hdr, wr_id] {
+        c2m_link_.Enqueue(flow, bytes + hdr, [this, qp, wr_id] {
+          engine_->Schedule(injector_->options().nack_rtt_ns, [qp, wr_id] {
+            qp->Complete(wr_id, WorkType::kWrite, CompletionStatus::kRnrNak);
+          });
+        });
+      });
+      return;
+    }
+    case FaultInjector::Action::kDeliver:
+    case FaultInjector::Action::kDelay:
+    case FaultInjector::Action::kDuplicate:
+      break;
+  }
+  const SimDuration spike = v.action == FaultInjector::Action::kDelay ? v.extra_ns : 0;
+  wqe_engine_.Enqueue(flow, 0, [this, qp, flow, bytes, hdr, wr_id, spike] {
+    c2m_link_.Enqueue(flow, bytes + hdr, [this, qp, flow, hdr, wr_id, spike] {
+      const SimDuration dma =
+          params_.remote_dma_ns + injector_->DmaPenaltyNs(engine_->now(), params_.remote_dma_ns);
+      engine_->Schedule(params_.wire_latency_ns + dma + spike,
+                        [this, qp, flow, hdr, wr_id] {
                           m2c_link_.Enqueue(flow, hdr, [this, qp, wr_id] {
                             engine_->Schedule(
                                 params_.wire_latency_ns + params_.cqe_deliver_ns,

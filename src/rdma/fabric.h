@@ -25,6 +25,7 @@
 
 #include "src/rdma/completion.h"
 #include "src/rdma/fair_link.h"
+#include "src/rdma/fault_injector.h"
 #include "src/rdma/params.h"
 #include "src/sim/engine.h"
 
@@ -73,7 +74,8 @@ class QueuePair {
  private:
   friend class RdmaFabric;
 
-  void Complete(uint64_t wr_id, WorkType type);
+  void Complete(uint64_t wr_id, WorkType type,
+                CompletionStatus status = CompletionStatus::kSuccess);
 
   RdmaFabric* fabric_;
   uint32_t id_;
@@ -120,6 +122,14 @@ class RdmaFabric {
   // Total outstanding one-sided operations across all QPs.
   uint32_t TotalOutstanding() const;
 
+  // Installs (or clears) a fault injector. Null = the ideal fabric; the
+  // datapath then pays exactly one branch per WQE and is bit-identical to a
+  // build without the injection layer. One-sided READs/WRITEs consult the
+  // injector; the client-facing Raw-Ethernet links stay ideal (the paper's
+  // fault surface is the memory-node fabric).
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() { return injector_; }
+
  private:
   friend class QueuePair;
 
@@ -127,9 +137,13 @@ class RdmaFabric {
   void IssueWrite(QueuePair* qp, uint64_t bytes, uint64_t wr_id);
   void IssueSend(QueuePair* qp, uint64_t bytes, uint64_t wr_id,
                  std::function<void()> on_delivered);
+  // Injection-aware variants of the one-sided pipelines.
+  void IssueReadFaulty(QueuePair* qp, uint64_t bytes, uint64_t wr_id);
+  void IssueWriteFaulty(QueuePair* qp, uint64_t bytes, uint64_t wr_id);
 
   Engine* engine_;
   FabricParams params_;
+  FaultInjector* injector_ = nullptr;
   FairLink wqe_engine_;      // Compute-NIC requester engine.
   FairLink c2m_link_;        // Compute -> memory node.
   FairLink m2c_link_;        // Memory node -> compute (fetch payloads).

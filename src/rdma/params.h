@@ -59,6 +59,34 @@ struct FabricParams {
   }
 };
 
+// Software timeout/retry/backoff policy for one-sided operations (page
+// fetches and write-backs). Sits *above* the NIC's transport retries: when a
+// WQE neither completes nor errors within `timeout_ns`, or completes with an
+// error status, the requester reposts it after an exponentially growing
+// backoff, up to `max_retries` reposts. Exhausting the budget triggers the
+// graceful-degradation path (fail the faulting request / abandon the
+// write-back) instead of wedging the worker. See docs/FAULT_MODEL.md.
+struct RetryPolicy {
+  bool enabled = false;
+  // Deadline per posted WQE. ~10x the unloaded 2.5 us fetch: loaded fetches
+  // routinely take several microseconds, so a tight deadline would spur
+  // spurious retries that double link load exactly when it is scarce.
+  SimDuration timeout_ns = 25000;
+  // Reposts per operation before giving up (transport-retry-counter
+  // analogue, applied in software).
+  uint32_t max_retries = 6;
+  // Backoff before the k-th repost: min(base * multiplier^(k-1), cap).
+  SimDuration backoff_base_ns = 4000;
+  double backoff_multiplier = 2.0;
+  SimDuration backoff_cap_ns = 100000;
+
+  SimDuration NextBackoff(SimDuration current) const {
+    const SimDuration next =
+        static_cast<SimDuration>(static_cast<double>(current) * backoff_multiplier);
+    return next > backoff_cap_ns ? backoff_cap_ns : next;
+  }
+};
+
 }  // namespace adios
 
 #endif  // ADIOS_SRC_RDMA_PARAMS_H_

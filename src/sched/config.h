@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "src/base/time.h"
+#include "src/rdma/params.h"
 
 namespace adios {
 
@@ -42,6 +43,11 @@ struct SchedConfig {
   bool preemption = false;         // Cooperative preemption at instrumented points.
   SimDuration preempt_interval_ns = 5000;  // Shinjuku/Concord default 5 us.
   uint32_t prefetch_window = 0;    // Sequential readahead (0 = off).
+  // Page-fetch deadline/retry/backoff pipeline (docs/FAULT_MODEL.md).
+  // Disabled by default: the ideal fabric completes every fetch, and the
+  // seed datapath must stay bit-identical. MdSystem enables it whenever a
+  // fault injector is configured.
+  RetryPolicy retry;
   uint32_t rx_ring_size = 1024;
   // The dispatcher stops pulling from the RX ring when the central queue
   // holds this many entries; further arrivals overflow the ring and drop

@@ -35,6 +35,10 @@ struct Request {
   uint64_t tx_wait_ns = 0;    // Synchronous reply-transmission wait.
   uint32_t faults = 0;
   uint32_t preemptions = 0;
+  // Degraded mode: a page fetch this request depended on exhausted its retry
+  // budget. The handler short-circuits and the reply goes out as an error
+  // reply; the load generator counts it as failed and skips verification.
+  bool failed = false;
 
   // Derived components.
   uint64_t QueueNs() const { return start_time - arrive_time; }

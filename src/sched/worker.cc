@@ -218,8 +218,84 @@ void Worker::Access(RemoteAddr addr, uint64_t len, bool write) {
   const uint64_t first = mm_->PageOfAddr(addr);
   const uint64_t last = mm_->PageOfAddr(addr + len - 1);
   for (uint64_t p = first; p <= last; ++p) {
+    if (running_->req->failed) {
+      return;  // Degraded mode: a fetch was abandoned; stop touching memory.
+    }
     AccessPage(p, write);
   }
+}
+
+void Worker::TrackFetch(uint64_t vpage) {
+  PendingFetch& pf = pending_fetch_[vpage];
+  pf.attempts = 1;
+  pf.req_id = running_ != nullptr ? running_->req->id : 0;
+  pf.backoff_ns = cfg_.retry.backoff_base_ns;
+  pf.deadline = engine_->ScheduleCancellable(cfg_.retry.timeout_ns,
+                                             [this, vpage] { OnFetchDeadline(vpage); });
+}
+
+void Worker::OnFetchDeadline(uint64_t vpage) {
+  auto it = pending_fetch_.find(vpage);
+  if (it == pending_fetch_.end()) {
+    return;  // Settled just before the deadline event ran.
+  }
+  ++fetch_timeouts_;
+  if (tracer_ != nullptr) {
+    tracer_->Record(engine_->now(), it->second.req_id, TraceEvent::kFetchTimeout,
+                    static_cast<uint32_t>(vpage));
+  }
+  ScheduleRetryOrFail(vpage);
+}
+
+void Worker::ScheduleRetryOrFail(uint64_t vpage) {
+  auto it = pending_fetch_.find(vpage);
+  if (it == pending_fetch_.end()) {
+    return;
+  }
+  PendingFetch& pf = it->second;
+  if (pf.repost_pending) {
+    return;  // An error completion raced with the deadline; one repost suffices.
+  }
+  if (pf.attempts > cfg_.retry.max_retries) {
+    FailFetch(vpage);
+    return;
+  }
+  ++pf.attempts;
+  ++fetch_retries_;
+  if (tracer_ != nullptr) {
+    tracer_->Record(engine_->now(), pf.req_id, TraceEvent::kRetry, pf.attempts);
+  }
+  const SimDuration backoff = pf.backoff_ns;
+  pf.backoff_ns = cfg_.retry.NextBackoff(backoff);
+  pf.repost_pending = true;
+  // Retries run off the engine clock, not the worker fiber: the repost is
+  // doorbell-cheap and a real implementation would issue it from whichever
+  // context notices the timeout, so no worker CPU is charged.
+  engine_->Schedule(backoff, [this, vpage] { RepostFetch(vpage); });
+}
+
+void Worker::RepostFetch(uint64_t vpage) {
+  auto it = pending_fetch_.find(vpage);
+  if (it == pending_fetch_.end()) {
+    return;  // A delayed completion landed during the backoff.
+  }
+  ADIOS_DCHECK(mm_->StateOf(vpage) == PageState::kFetching);
+  if (!mem_qp_->PostRead(mm_->page_bytes(), vpage)) {
+    ++qp_full_stalls_;
+    engine_->Schedule(1000, [this, vpage] { RepostFetch(vpage); });
+    return;
+  }
+  it->second.repost_pending = false;
+  it->second.deadline = engine_->ScheduleCancellable(
+      cfg_.retry.timeout_ns, [this, vpage] { OnFetchDeadline(vpage); });
+}
+
+void Worker::FailFetch(uint64_t vpage) {
+  auto it = pending_fetch_.find(vpage);
+  ADIOS_DCHECK(it != pending_fetch_.end());
+  it->second.deadline.Cancel();
+  pending_fetch_.erase(it);
+  mm_->AbortFetch(vpage);
 }
 
 void Worker::AccessPage(uint64_t vpage, bool write) {
@@ -234,6 +310,9 @@ void Worker::AccessPage(uint64_t vpage, bool write) {
   // sleeping frame-waiter pin a page another handler fetched, wedging
   // eviction entirely under extreme pressure.)
   for (;;) {
+    if (running_->req->failed) {
+      return;  // A fetch this request waited on was abandoned (retry budget).
+    }
     switch (mm_->StateOf(vpage)) {
       case PageState::kPresent:
         // MMU hit: free.
@@ -345,6 +424,9 @@ void Worker::PostReadWithBackpressure(uint64_t vpage) {
       mem_cq_wait_.Wait();
     }
   }
+  if (cfg_.retry.enabled) {
+    TrackFetch(vpage);
+  }
 }
 
 size_t Worker::DrainMemCq() {
@@ -359,6 +441,23 @@ size_t Worker::DrainMemCq() {
     core_->Consume((cfg_.poll_cqe_cycles + cfg_.map_page_cycles) * n);
     for (size_t i = 0; i < n; ++i) {
       ADIOS_DCHECK(batch[i].type == WorkType::kRead);
+      if (cfg_.retry.enabled) {
+        auto it = pending_fetch_.find(batch[i].wr_id);
+        if (it == pending_fetch_.end()) {
+          // Duplicate or late completion for a fetch that already settled
+          // (a retry won the race, or the fetch was aborted). Drop it.
+          continue;
+        }
+        if (!batch[i].ok()) {
+          // Transport-level failure (retry-exceeded or RNR NAK): the WQE is
+          // dead; decide software retry vs. giving up.
+          it->second.deadline.Cancel();
+          ScheduleRetryOrFail(batch[i].wr_id);
+          continue;
+        }
+        it->second.deadline.Cancel();
+        pending_fetch_.erase(it);
+      }
       mm_->CompleteFetch(batch[i].wr_id);
     }
     total += n;
@@ -385,13 +484,18 @@ void Worker::BlockOnFetch(uint64_t vpage) {
     if (cfg_.fault_policy == FaultPolicy::kKernelYield) {
       Engine* engine = engine_;
       const SimDuration delay = cfg_.kernel_sched_delay_ns;
-      mm_->AddFetchWaiter(vpage, [engine, delay, item] {
+      mm_->AddFetchWaiter(vpage, [engine, delay, item](bool ok) {
+        if (!ok) {
+          item->req->failed = true;
+        }
         engine->Schedule(delay, [item] { item->home->EnqueueReady(item); });
       });
       core_->Consume(cfg_.kernel_ctx_switch_cycles);
     } else {
-      mm_->AddFetchWaiter(vpage, [this, item] {
-        if (tracer_ != nullptr) {
+      mm_->AddFetchWaiter(vpage, [this, item](bool ok) {
+        if (!ok) {
+          item->req->failed = true;
+        } else if (tracer_ != nullptr) {
           tracer_->Record(engine_->now(), item->req->id, TraceEvent::kFetchDone);
         }
         item->home->EnqueueReady(item);
@@ -407,7 +511,10 @@ void Worker::BlockOnFetch(uint64_t vpage) {
     // also covers the cross-worker case (our page fetched by another QP).
     const uint64_t busy0 = core_->busy_ns();
     bool done = false;
-    mm_->AddFetchWaiter(vpage, [this, &done] {
+    mm_->AddFetchWaiter(vpage, [this, &done, req](bool ok) {
+      if (!ok) {
+        req->failed = true;
+      }
       done = true;
       mem_cq_wait_.NotifyAll();
     });

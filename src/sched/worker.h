@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "src/base/rng.h"
@@ -101,6 +102,8 @@ class Worker final : public WorkerApi {
   uint64_t qp_full_stalls() const { return qp_full_stalls_; }
   uint64_t preempt_fires() const { return preempt_fires_; }
   uint64_t steals() const { return steals_; }
+  uint64_t fetch_timeouts() const { return fetch_timeouts_; }
+  uint64_t fetch_retries() const { return fetch_retries_; }
 
   // --- WorkerApi (called by application handlers on unithreads) ---
   void Access(RemoteAddr addr, uint64_t len, bool write) override;
@@ -126,6 +129,32 @@ class Worker final : public WorkerApi {
   void PostReadWithBackpressure(uint64_t vpage);
   // Polls the memory CQ, maps fetched pages, runs waiters. Returns #polled.
   size_t DrainMemCq();
+
+  // --- Fetch deadline/retry pipeline (active only when cfg_.retry.enabled;
+  // state machine documented in docs/FAULT_MODEL.md) ---
+
+  // Per in-flight fetch: attempt count, backoff, and the armed deadline.
+  // Keyed by vpage (== the fetch's wr_id); also deduplicates stale/duplicate
+  // completions, which are ignored unless an entry exists.
+  struct PendingFetch {
+    uint32_t attempts = 1;      // Posts so far (1 = the original).
+    uint64_t req_id = 0;        // Initiating request, for tracing.
+    SimDuration backoff_ns = 0; // Wait before the next repost.
+    bool repost_pending = false;  // A repost is scheduled; don't schedule twice.
+    Engine::EventHandle deadline;
+  };
+
+  // Creates the pending entry and arms the first deadline (post time).
+  void TrackFetch(uint64_t vpage);
+  // Deadline expiry: count the timeout, then retry or fail.
+  void OnFetchDeadline(uint64_t vpage);
+  // Retries after backoff while budget remains; otherwise fails the fetch.
+  void ScheduleRetryOrFail(uint64_t vpage);
+  // Reposts the READ (re-queuing itself briefly when the QP is full) and
+  // re-arms the deadline.
+  void RepostFetch(uint64_t vpage);
+  // Budget exhausted: abandon the fetch; waiters fail their requests.
+  void FailFetch(uint64_t vpage);
 
   uint32_t index_;
   Engine* engine_;
@@ -159,11 +188,15 @@ class Worker final : public WorkerApi {
   std::vector<uint64_t> prefetch_scratch_;
   Rng rng_;
 
+  std::unordered_map<uint64_t, PendingFetch> pending_fetch_;
+
   uint64_t completed_ = 0;
   uint64_t yields_ = 0;
   uint64_t qp_full_stalls_ = 0;
   uint64_t preempt_fires_ = 0;
   uint64_t steals_ = 0;
+  uint64_t fetch_timeouts_ = 0;
+  uint64_t fetch_retries_ = 0;
 };
 
 }  // namespace adios

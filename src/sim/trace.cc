@@ -20,6 +20,10 @@ const char* TraceEventName(TraceEvent ev) {
       return "preempt";
     case TraceEvent::kDone:
       return "done";
+    case TraceEvent::kFetchTimeout:
+      return "fetch-timeout";
+    case TraceEvent::kRetry:
+      return "retry";
   }
   return "?";
 }
@@ -37,24 +41,34 @@ std::vector<TraceRecord> Tracer::ForRequest(uint64_t request_id) const {
 void Tracer::PrintTimeline(uint64_t request_id, std::FILE* out) const {
   const auto events = ForRequest(request_id);
   if (events.empty()) {
-    std::fprintf(out, "request %llu: no trace records\n",
-                 static_cast<unsigned long long>(request_id));
+    std::fprintf(out, "request %llu: no trace records", static_cast<unsigned long long>(request_id));
+    if (dropped_ > 0) {
+      std::fprintf(out, " (%llu events dropped at capacity — its records may be among them)",
+                   static_cast<unsigned long long>(dropped_));
+    }
+    std::fprintf(out, "\n");
     return;
   }
   const SimTime t0 = events.front().time;
   std::fprintf(out, "request %llu timeline:\n", static_cast<unsigned long long>(request_id));
   SimTime prev = t0;
   for (const auto& e : events) {
-    std::fprintf(out, "  +%8.2f us (%+7.2f)  %-10s", static_cast<double>(e.time - t0) / 1000.0,
+    std::fprintf(out, "  +%8.2f us (%+7.2f)  %-13s", static_cast<double>(e.time - t0) / 1000.0,
                  static_cast<double>(e.time - prev) / 1000.0, TraceEventName(e.event));
     if (e.event == TraceEvent::kDispatch || e.event == TraceEvent::kStart ||
         e.event == TraceEvent::kResume) {
       std::fprintf(out, " worker=%u", e.arg);
-    } else if (e.event == TraceEvent::kFault) {
+    } else if (e.event == TraceEvent::kFault || e.event == TraceEvent::kFetchTimeout) {
       std::fprintf(out, " page=%u", e.arg);
+    } else if (e.event == TraceEvent::kRetry) {
+      std::fprintf(out, " attempt=%u", e.arg);
     }
     std::fprintf(out, "\n");
     prev = e.time;
+  }
+  if (dropped_ > 0) {
+    std::fprintf(out, "  (tracer dropped %llu events at capacity; timeline may be incomplete)\n",
+                 static_cast<unsigned long long>(dropped_));
   }
 }
 

@@ -25,8 +25,10 @@ enum class TraceEvent : uint8_t {
   kFault = 3,      // Page fault issued (arg = low bits of the page number).
   kFetchDone = 4,  // The faulted page mapped.
   kResume = 5,     // Unithread resumed after a yield (arg = worker).
-  kPreempt = 6,    // Quantum expired; requeued.
-  kDone = 7,       // Handler finished; reply posted.
+  kPreempt = 6,       // Quantum expired; requeued.
+  kDone = 7,          // Handler finished; reply posted.
+  kFetchTimeout = 8,  // A page fetch missed its deadline (arg = page).
+  kRetry = 9,         // The fetch was reposted after backoff (arg = attempt).
 };
 
 const char* TraceEventName(TraceEvent ev);
@@ -40,24 +42,34 @@ struct TraceRecord {
 
 class Tracer {
  public:
-  // Starts recording up to `capacity` events (further events are dropped).
+  // Starts recording up to `capacity` events (further events are dropped
+  // and counted in dropped()).
   void Enable(size_t capacity) {
     enabled_ = true;
     records_.clear();
     records_.reserve(capacity);
     capacity_ = capacity;
+    dropped_ = 0;
   }
 
   bool enabled() const { return enabled_; }
 
   void Record(SimTime time, uint64_t request_id, TraceEvent event, uint32_t arg = 0) {
-    if (!enabled_ || records_.size() >= capacity_) {
+    if (!enabled_) {
+      return;
+    }
+    if (records_.size() >= capacity_) {
+      ++dropped_;  // At capacity: the event is lost, but visibly so.
       return;
     }
     records_.push_back(TraceRecord{time, request_id, event, arg});
   }
 
   const std::vector<TraceRecord>& records() const { return records_; }
+
+  // Events discarded because the capacity given to Enable() was reached.
+  // Timelines printed from a saturated tracer are incomplete.
+  uint64_t dropped() const { return dropped_; }
 
   // All events of one request, in time order (records are appended in
   // global time order already).
@@ -69,6 +81,7 @@ class Tracer {
  private:
   bool enabled_ = false;
   size_t capacity_ = 0;
+  uint64_t dropped_ = 0;
   std::vector<TraceRecord> records_;
 };
 

@@ -164,6 +164,28 @@ TEST(MdSystem, PreemptionFiresOnScanHeavyWorkload) {
   EXPECT_EQ(r.sent, r.completed + r.dropped);
 }
 
+TEST(MdSystem, NoWorkerWedgesUnderPacketLoss) {
+  // 1% READ loss: without the deadline/retry pipeline workers would block
+  // forever on fetches whose completions never arrive. With it, every
+  // request drains and no frame leaks (docs/FAULT_MODEL.md).
+  SystemConfig cfg = SystemConfig::Adios();
+  cfg.fault.read_loss_rate = 0.01;
+  ArrayApp app(SmallArray());
+  MdSystem sys(cfg, &app);
+  RunResult r = sys.Run(200000, Milliseconds(4), Milliseconds(10));
+  EXPECT_GT(r.measured, 1000u);
+  EXPECT_EQ(r.sent, r.completed + r.dropped);  // All in-flight work drained.
+  EXPECT_GT(r.fetch_retries, 0u);
+  EXPECT_EQ(r.requests_failed, 0u);  // Budget of 6 retries absorbs 1% loss.
+  // Frame balance at drain: used frames exactly cover resident pages plus
+  // in-flight fetches and write-backs — retries leaked nothing.
+  MemoryManager& mm = sys.memory_manager();
+  const uint64_t used = mm.options().local_pages - mm.free_frames();
+  EXPECT_EQ(used, mm.page_table().resident_pages() + mm.page_table().fetching_pages() +
+                      sys.reclaimer().writebacks_inflight());
+  EXPECT_EQ(mm.page_table().fetching_pages(), 0u);
+}
+
 TEST(MdSystem, RdmaUtilizationScalesWithLoad) {
   RunResult lo = RunArray(SystemConfig::Adios(), 300000);
   RunResult hi = RunArray(SystemConfig::Adios(), 1200000);

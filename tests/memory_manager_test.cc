@@ -47,8 +47,14 @@ TEST(MemoryManager, WaitersRunInOrderOnCompleteFetch) {
   MemoryManager mm(&e, SmallOptions());
   std::vector<int> ran;
   mm.BeginFetch(3);
-  mm.AddFetchWaiter(3, [&] { ran.push_back(1); });
-  mm.AddFetchWaiter(3, [&] { ran.push_back(2); });
+  mm.AddFetchWaiter(3, [&](bool ok) {
+    EXPECT_TRUE(ok);
+    ran.push_back(1);
+  });
+  mm.AddFetchWaiter(3, [&](bool ok) {
+    EXPECT_TRUE(ok);
+    ran.push_back(2);
+  });
   ++mm.stats().shared_faults;
   mm.CompleteFetch(3);
   EXPECT_EQ(ran, (std::vector<int>{1, 2}));
@@ -56,6 +62,25 @@ TEST(MemoryManager, WaitersRunInOrderOnCompleteFetch) {
   mm.BeginFetch(4);
   mm.CompleteFetch(4);
   EXPECT_EQ(ran.size(), 2u);
+}
+
+TEST(MemoryManager, AbortFetchReleasesFrameAndFailsWaiters) {
+  Engine e;
+  MemoryManager mm(&e, SmallOptions());
+  mm.BeginFetch(7);
+  EXPECT_EQ(mm.free_frames(), 15u);
+  std::vector<bool> outcomes;
+  mm.AddFetchWaiter(7, [&](bool ok) { outcomes.push_back(ok); });
+  mm.AddFetchWaiter(7, [&](bool ok) { outcomes.push_back(ok); });
+  mm.AbortFetch(7);
+  EXPECT_EQ(mm.StateOf(7), PageState::kRemote);  // Back to square one.
+  EXPECT_EQ(mm.free_frames(), 16u);              // Reserved frame returned.
+  EXPECT_EQ(outcomes, (std::vector<bool>{false, false}));
+  EXPECT_EQ(mm.stats().fetch_aborts, 1u);
+  // The page can be fetched again afterwards.
+  mm.BeginFetch(7);
+  mm.CompleteFetch(7);
+  EXPECT_EQ(mm.StateOf(7), PageState::kPresent);
 }
 
 TEST(MemoryManager, ReclaimKickFiresBelowLowWatermark) {

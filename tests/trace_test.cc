@@ -22,6 +22,9 @@ TEST(Tracer, CapacityBounds) {
     t.Record(static_cast<SimTime>(i), 1, TraceEvent::kArrive);
   }
   EXPECT_EQ(t.records().size(), 3u);
+  EXPECT_EQ(t.dropped(), 7u);  // Overflow is counted, not silent.
+  t.Enable(3);                 // Re-enabling resets the drop counter.
+  EXPECT_EQ(t.dropped(), 0u);
 }
 
 TEST(Tracer, ForRequestFilters) {
@@ -37,7 +40,7 @@ TEST(Tracer, ForRequestFilters) {
 }
 
 TEST(Tracer, EventNamesComplete) {
-  for (uint8_t e = 0; e <= static_cast<uint8_t>(TraceEvent::kDone); ++e) {
+  for (uint8_t e = 0; e <= static_cast<uint8_t>(TraceEvent::kRetry); ++e) {
     EXPECT_STRNE(TraceEventName(static_cast<TraceEvent>(e)), "?");
   }
 }
