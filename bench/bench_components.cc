@@ -52,6 +52,18 @@ void BM_ZipfNext(benchmark::State& state) {
 }
 BENCHMARK(BM_ZipfNext);
 
+// Measures the bare asm switch (no wrapper branch); under ASan the raw
+// symbol would break shadow-stack bookkeeping, so use the annotated wrapper.
+#if defined(__SANITIZE_ADDRESS__)
+inline void BenchCtxSwitch(UnithreadContext* from, UnithreadContext* to) {
+  AdiosContextSwitch(from, to);
+}
+#else
+inline void BenchCtxSwitch(UnithreadContext* from, UnithreadContext* to) {
+  AdiosContextSwitchAsm(from, to);
+}
+#endif
+
 void BM_ContextSwitchPair(benchmark::State& state) {
   struct Rig {
     UnithreadContext main_ctx;
@@ -63,12 +75,12 @@ void BM_ContextSwitchPair(benchmark::State& state) {
       [](void* arg) {
         auto* r = static_cast<Rig*>(arg);
         for (;;) {
-          AdiosContextSwitch(&r->thread_ctx, &r->main_ctx);
+          BenchCtxSwitch(&r->thread_ctx, &r->main_ctx);
         }
       },
       &rig, &rig.main_ctx);
   for (auto _ : state) {
-    AdiosContextSwitch(&rig.main_ctx, &rig.thread_ctx);
+    BenchCtxSwitch(&rig.main_ctx, &rig.thread_ctx);
   }
 }
 BENCHMARK(BM_ContextSwitchPair);

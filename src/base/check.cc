@@ -1,0 +1,30 @@
+#include "src/base/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define ADIOS_HAVE_BACKTRACE 1
+#endif
+
+namespace adios {
+
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line, const char* details) {
+  std::fprintf(stderr, "ADIOS_CHECK failed: %s at %s:%d\n", expr, file, line);
+  if (details != nullptr) {
+    std::fprintf(stderr, "  %s\n", details);
+  }
+#if defined(ADIOS_HAVE_BACKTRACE)
+  void* frames[32];
+  const int depth = backtrace(frames, 32);
+  if (depth > 0) {
+    std::fprintf(stderr, "  backtrace (%d frames):\n", depth);
+    std::fflush(stderr);
+    backtrace_symbols_fd(frames, depth, /*fd=*/2);
+  }
+#endif
+  std::abort();
+}
+
+}  // namespace adios

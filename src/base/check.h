@@ -1,30 +1,75 @@
 // Lightweight assertion macros for invariant checking.
 //
 // ADIOS_CHECK(cond) aborts with a message when `cond` is false, in all build
-// types. ADIOS_DCHECK(cond) compiles out in NDEBUG builds. Both are intended
-// for programmer errors (broken invariants), not for recoverable conditions.
+// types. ADIOS_CHECK_EQ/NE/LT/LE/GT/GE additionally print both operands.
+// ADIOS_DCHECK(cond) compiles out in NDEBUG builds. All are intended for
+// programmer errors (broken invariants), not for recoverable conditions.
+//
+// On failure a short backtrace is written with backtrace_symbols_fd (when
+// <execinfo.h> is available); executables link with -rdynamic so the frames
+// resolve to symbol names instead of bare addresses.
 
 #ifndef ADIOS_SRC_BASE_CHECK_H_
 #define ADIOS_SRC_BASE_CHECK_H_
 
-#include <cstdio>
-#include <cstdlib>
+#include <sstream>
+#include <string>
 
 namespace adios {
 
-[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line) {
-  std::fprintf(stderr, "ADIOS_CHECK failed: %s at %s:%d\n", expr, file, line);
-  std::abort();
+// Prints the failure (plus optional details and a backtrace) and aborts.
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line,
+                              const char* details = nullptr);
+
+namespace check_internal {
+
+template <typename T>
+void AppendValue(std::ostringstream& os, const T& value) {
+  if constexpr (requires { os << value; }) {
+    os << value;
+  } else {
+    os << "<unprintable " << sizeof(T) << "-byte value>";
+  }
 }
 
+template <typename A, typename B>
+[[noreturn]] void CheckOpFailed(const char* expr, const char* file, int line, const A& lhs,
+                                const B& rhs) {
+  std::ostringstream os;
+  os << "lhs = ";
+  AppendValue(os, lhs);
+  os << ", rhs = ";
+  AppendValue(os, rhs);
+  const std::string details = os.str();
+  CheckFailed(expr, file, line, details.c_str());
+}
+
+}  // namespace check_internal
 }  // namespace adios
 
-#define ADIOS_CHECK(cond)                                 \
-  do {                                                    \
-    if (!(cond)) {                                        \
-      ::adios::CheckFailed(#cond, __FILE__, __LINE__);    \
-    }                                                     \
+#define ADIOS_CHECK(cond)                              \
+  do {                                                 \
+    if (!(cond)) {                                     \
+      ::adios::CheckFailed(#cond, __FILE__, __LINE__); \
+    }                                                  \
   } while (0)
+
+#define ADIOS_CHECK_OP_IMPL(op, a, b)                                                           \
+  do {                                                                                          \
+    auto&& adios_check_lhs_ = (a);                                                              \
+    auto&& adios_check_rhs_ = (b);                                                              \
+    if (!(adios_check_lhs_ op adios_check_rhs_)) {                                              \
+      ::adios::check_internal::CheckOpFailed(#a " " #op " " #b, __FILE__, __LINE__,             \
+                                             adios_check_lhs_, adios_check_rhs_);               \
+    }                                                                                           \
+  } while (0)
+
+#define ADIOS_CHECK_EQ(a, b) ADIOS_CHECK_OP_IMPL(==, a, b)
+#define ADIOS_CHECK_NE(a, b) ADIOS_CHECK_OP_IMPL(!=, a, b)
+#define ADIOS_CHECK_LT(a, b) ADIOS_CHECK_OP_IMPL(<, a, b)
+#define ADIOS_CHECK_LE(a, b) ADIOS_CHECK_OP_IMPL(<=, a, b)
+#define ADIOS_CHECK_GT(a, b) ADIOS_CHECK_OP_IMPL(>, a, b)
+#define ADIOS_CHECK_GE(a, b) ADIOS_CHECK_OP_IMPL(>=, a, b)
 
 #ifdef NDEBUG
 #define ADIOS_DCHECK(cond) \

@@ -1,0 +1,206 @@
+#include "src/check/invariant_checker.h"
+
+#include <sstream>
+
+#include "src/base/check.h"
+
+namespace adios {
+namespace {
+
+// XOR mask applied to every byte of a poisoned page. Self-inverse, so
+// re-mapping (or UnpoisonAll) restores the original bytes exactly.
+constexpr std::byte kPoisonMask{0xA5};
+
+}  // namespace
+
+InvariantChecker::InvariantChecker(const CheckOptions& options, const Deps& deps)
+    : options_(options), deps_(deps) {
+  ADIOS_CHECK(deps_.engine != nullptr);
+  if (options_.poison_evicted_pages) {
+    ADIOS_CHECK(deps_.region != nullptr);
+    ADIOS_CHECK(deps_.mm != nullptr);
+  }
+}
+
+InvariantChecker::~InvariantChecker() {
+  UnpoisonAll();
+  if (installed_ && deps_.mm != nullptr) {
+    deps_.mm->set_evict_hook(nullptr);
+    deps_.mm->set_map_hook(nullptr);
+  }
+}
+
+void InvariantChecker::Install() {
+  ADIOS_CHECK(!installed_);
+  installed_ = true;
+  if (options_.check_switch_discipline) {
+    switch_checker_ = std::make_unique<SwitchDisciplineChecker>(deps_.engine, options_.fatal);
+  }
+  if (options_.poison_evicted_pages && deps_.mm != nullptr) {
+    deps_.mm->set_evict_hook([this](uint64_t vpage) { OnEvict(vpage); });
+    deps_.mm->set_map_hook([this](uint64_t vpage) { OnMap(vpage); });
+  }
+}
+
+void InvariantChecker::AuditNow() {
+  ++report_.audits;
+  if (options_.audit_frames) {
+    AuditFrameConservation();
+    AuditPageTableCounters();
+    AuditQpConservation();
+  }
+  if (options_.audit_stacks) {
+    AuditStacks();
+  }
+}
+
+void InvariantChecker::SchedulePeriodicAudits(SimTime horizon) {
+  if (options_.audit_interval_ns == 0) {
+    return;
+  }
+  audit_horizon_ = horizon;
+  ScheduleNextAudit();
+}
+
+void InvariantChecker::ScheduleNextAudit() {
+  deps_.engine->Schedule(options_.audit_interval_ns, [this] {
+    AuditNow();
+    // Self-rescheduling stops at the horizon so an engine that runs until
+    // its queue drains is not kept alive by the auditor itself.
+    if (deps_.engine->now() < audit_horizon_) {
+      ScheduleNextAudit();
+    }
+  });
+}
+
+void InvariantChecker::Violation(const char* what, const std::string& details) {
+  ++report_.violations;
+  if (options_.fatal) {
+    CheckFailed(what, "src/check/invariant_checker.cc", 0, details.c_str());
+  }
+}
+
+void InvariantChecker::AuditFrameConservation() {
+  if (deps_.mm == nullptr) {
+    return;
+  }
+  const uint64_t resident = deps_.mm->page_table().resident_pages();
+  const uint64_t fetching = deps_.mm->page_table().fetching_pages();
+  const uint64_t writebacks =
+      deps_.reclaimer != nullptr ? deps_.reclaimer->writebacks_inflight() : 0;
+  const uint64_t used = deps_.mm->used_frames();
+  if (resident + fetching + writebacks != used) {
+    std::ostringstream os;
+    os << "resident " << resident << " + fetching " << fetching << " + writebacks " << writebacks
+       << " != used frames " << used << " (leak or double-release)";
+    Violation("frame conservation violated", os.str());
+  }
+}
+
+void InvariantChecker::AuditPageTableCounters() {
+  if (deps_.mm == nullptr) {
+    return;
+  }
+  PageTable& pt = deps_.mm->page_table();
+  uint64_t resident = 0;
+  uint64_t fetching = 0;
+  for (uint64_t vpage = 0; vpage < pt.num_pages(); ++vpage) {
+    const PageState state = pt.entry(vpage).state;
+    if (state == PageState::kPresent) {
+      ++resident;
+    } else if (state == PageState::kFetching) {
+      ++fetching;
+    }
+  }
+  if (resident != pt.resident_pages() || fetching != pt.fetching_pages()) {
+    std::ostringstream os;
+    os << "walk found resident " << resident << " / fetching " << fetching << ", counters say "
+       << pt.resident_pages() << " / " << pt.fetching_pages();
+    Violation("page-table counters drifted from entries", os.str());
+  }
+}
+
+void InvariantChecker::AuditQpConservation() {
+  if (deps_.fabric == nullptr) {
+    return;
+  }
+  const uint64_t posted = deps_.fabric->TotalPosted();
+  const uint64_t completed = deps_.fabric->TotalCompletions();
+  const uint64_t outstanding = deps_.fabric->TotalOutstanding();
+  if (posted != completed + outstanding) {
+    std::ostringstream os;
+    os << "posted " << posted << " != completed " << completed << " + outstanding "
+       << outstanding;
+    Violation("QP work conservation violated", os.str());
+  }
+}
+
+void InvariantChecker::AuditStacks() {
+  const Engine::StackAuditResult fibers = deps_.engine->AuditStacks();
+  if (fibers.canary_violations != 0) {
+    std::ostringstream os;
+    os << fibers.canary_violations << " of " << fibers.fibers
+       << " fiber stacks have a trampled canary (overflow)";
+    Violation("fiber stack canary trampled", os.str());
+  }
+  if (fibers.max_high_water > report_.fiber_stack_high_water) {
+    report_.fiber_stack_high_water = fibers.max_high_water;
+  }
+  if (deps_.pool != nullptr) {
+    const UnithreadPool::AuditResult pool = deps_.pool->Audit();
+    if (!pool.free_list_ok) {
+      Violation("unithread pool free list corrupt",
+                "duplicate or out-of-range indices in the free list");
+    }
+    if (pool.canary_violations != 0) {
+      std::ostringstream os;
+      os << pool.canary_violations << " of " << pool.buffers_checked
+         << " universal stacks have a trampled canary (overflow)";
+      Violation("universal stack canary trampled", os.str());
+    }
+    if (pool.max_high_water > report_.pool_stack_high_water) {
+      report_.pool_stack_high_water = pool.max_high_water;
+    }
+  }
+}
+
+void InvariantChecker::OnEvict(uint64_t vpage) {
+  if (poisoned_.count(vpage) != 0) {
+    return;  // Already scrambled (evict raced a re-poison; be idempotent).
+  }
+  XorPage(vpage);
+  poisoned_.insert(vpage);
+  ++report_.poison_events;
+  report_.pages_poisoned = poisoned_.size();
+}
+
+void InvariantChecker::OnMap(uint64_t vpage) {
+  auto it = poisoned_.find(vpage);
+  if (it == poisoned_.end()) {
+    return;
+  }
+  XorPage(vpage);
+  poisoned_.erase(it);
+  report_.pages_poisoned = poisoned_.size();
+}
+
+void InvariantChecker::XorPage(uint64_t vpage) {
+  std::byte* bytes = deps_.region->data() + PageStart(vpage);
+  for (uint64_t i = 0; i < kPageSize; ++i) {
+    bytes[i] ^= kPoisonMask;
+  }
+}
+
+void InvariantChecker::UnpoisonAll() {
+  if (deps_.region == nullptr) {
+    poisoned_.clear();
+    return;
+  }
+  for (uint64_t vpage : poisoned_) {
+    XorPage(vpage);
+  }
+  poisoned_.clear();
+  report_.pages_poisoned = 0;
+}
+
+}  // namespace adios

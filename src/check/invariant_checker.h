@@ -1,0 +1,115 @@
+// Runtime invariant checker (frame-ownership auditor + stack audits +
+// poison-on-evict + switch discipline).
+//
+// One checker instance watches one MdSystem-style assembly of engine,
+// memory manager, reclaimer, fabric, and unithread pool. Every dependency
+// except the engine is optional, so unit tests can audit a bare memory
+// manager without standing up the whole system.
+//
+// Audited invariants (CheckOptions selects which):
+//   * Frame conservation: resident + fetching + writebacks-in-flight equals
+//     the memory manager's used frames — a leak on any path (fetch abort,
+//     eviction, write-back completion) shifts the balance.
+//   * Page-table counter integrity: a full walk of the table must reproduce
+//     its own resident/fetching counters.
+//   * QP work conservation: per-fabric, posted ops == completions delivered
+//     + operations still outstanding (the fault injector's duplicated
+//     completions bypass the counter on purpose and do not disturb it).
+//   * Stack canaries + high-water marks for engine fibers and universal
+//     stacks (delegated to Engine::AuditStacks / UnithreadPool::Audit).
+//   * Context-switch discipline (src/check/switch_discipline.h).
+//
+// Poison-on-evict XOR-scrambles the remote-region bytes of evicted pages so
+// a true use-after-evict reads deterministic garbage; see CheckOptions for
+// why it defaults to off.
+
+#ifndef ADIOS_SRC_CHECK_INVARIANT_CHECKER_H_
+#define ADIOS_SRC_CHECK_INVARIANT_CHECKER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+
+#include "src/check/check_options.h"
+#include "src/check/switch_discipline.h"
+#include "src/mem/memory_manager.h"
+#include "src/mem/reclaimer.h"
+#include "src/mem/remote_heap.h"
+#include "src/rdma/fabric.h"
+#include "src/sim/engine.h"
+#include "src/unithread/universal_stack.h"
+
+namespace adios {
+
+class InvariantChecker {
+ public:
+  struct Deps {
+    Engine* engine = nullptr;       // Required.
+    MemoryManager* mm = nullptr;    // Frame/page-table audits + poison hooks.
+    RemoteRegion* region = nullptr; // Required for poison_evicted_pages.
+    Reclaimer* reclaimer = nullptr; // Write-back half of frame conservation.
+    RdmaFabric* fabric = nullptr;   // QP work-conservation audit.
+    UnithreadPool* pool = nullptr;  // Universal-stack canary audit.
+  };
+
+  struct Report {
+    uint64_t audits = 0;
+    uint64_t violations = 0;
+    uint64_t pages_poisoned = 0;      // Currently poisoned.
+    uint64_t poison_events = 0;       // Total evict-side poisonings.
+    size_t fiber_stack_high_water = 0;
+    size_t pool_stack_high_water = 0;
+  };
+
+  InvariantChecker(const CheckOptions& options, const Deps& deps);
+  ~InvariantChecker();
+
+  InvariantChecker(const InvariantChecker&) = delete;
+  InvariantChecker& operator=(const InvariantChecker&) = delete;
+
+  // Installs the memory-manager poison hooks and the switch-discipline
+  // observer. Call once, before the simulation starts.
+  void Install();
+
+  // Runs every enabled audit immediately.
+  void AuditNow();
+
+  // Schedules audits every audit_interval_ns of simulated time, stopping at
+  // `horizon` so Engine::Run() (which runs until the queue drains) still
+  // terminates. Call AuditNow() once more after the run for the final state.
+  void SchedulePeriodicAudits(SimTime horizon);
+
+  // Reverses any outstanding page poison. Must run before results/data are
+  // read out of the remote region at the end of a checked run.
+  void UnpoisonAll();
+
+  const Report& report() const { return report_; }
+  const CheckOptions& options() const { return options_; }
+  bool PageIsPoisoned(uint64_t vpage) const { return poisoned_.count(vpage) != 0; }
+  const SwitchDisciplineChecker* switch_checker() const { return switch_checker_.get(); }
+
+ private:
+  void Violation(const char* what, const std::string& details);
+  void AuditFrameConservation();
+  void AuditPageTableCounters();
+  void AuditQpConservation();
+  void AuditStacks();
+  void ScheduleNextAudit();
+
+  void OnEvict(uint64_t vpage);
+  void OnMap(uint64_t vpage);
+  void XorPage(uint64_t vpage);
+
+  CheckOptions options_;
+  Deps deps_;
+  Report report_;
+  SimTime audit_horizon_ = 0;
+  std::unordered_set<uint64_t> poisoned_;
+  std::unique_ptr<SwitchDisciplineChecker> switch_checker_;
+  bool installed_ = false;
+};
+
+}  // namespace adios
+
+#endif  // ADIOS_SRC_CHECK_INVARIANT_CHECKER_H_

@@ -1,0 +1,72 @@
+#include "src/check/stack_guard.h"
+
+#include <cstring>
+
+#include "src/base/check.h"
+
+namespace adios {
+
+void WriteStackCanary(std::byte* low, size_t bytes) {
+  ADIOS_CHECK(low != nullptr);
+  ADIOS_CHECK_EQ(bytes % sizeof(kStackCanaryWord), 0u);
+  for (size_t off = 0; off < bytes; off += sizeof(kStackCanaryWord)) {
+    std::memcpy(low + off, &kStackCanaryWord, sizeof(kStackCanaryWord));
+  }
+}
+
+bool StackCanaryIntact(const std::byte* low, size_t bytes) {
+  for (size_t off = 0; off < bytes; off += sizeof(kStackCanaryWord)) {
+    uint64_t word;
+    std::memcpy(&word, low + off, sizeof(word));
+    if (word != kStackCanaryWord) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void PaintStack(std::byte* low, size_t bytes) {
+  std::memset(low, static_cast<int>(kStackPaintByte), bytes);
+}
+
+size_t StackHighWaterMark(const std::byte* low, size_t bytes) {
+  size_t untouched = 0;
+  while (untouched < bytes && low[untouched] == kStackPaintByte) {
+    ++untouched;
+  }
+  return bytes - untouched;
+}
+
+GuardedStack::GuardedStack(size_t usable_bytes, bool paint) {
+  ADIOS_CHECK_GT(usable_bytes, 0u);
+  ADIOS_CHECK_EQ(usable_bytes % 16, 0u);
+  // Slack for realigning the base: make_unique only guarantees the default
+  // new alignment.
+  const size_t total = kStackCanaryBytes + usable_bytes + 15;
+  storage_ = std::make_unique<std::byte[]>(total);
+  const uintptr_t raw = reinterpret_cast<uintptr_t>(storage_.get());
+  std::byte* canary = reinterpret_cast<std::byte*>((raw + 15) & ~static_cast<uintptr_t>(15));
+  WriteStackCanary(canary, kStackCanaryBytes);
+  usable_ = canary + kStackCanaryBytes;
+  size_ = usable_bytes;
+  painted_ = paint;
+  if (paint) {
+    PaintStack(usable_, size_);
+  }
+}
+
+bool GuardedStack::CanaryIntact() const {
+  if (usable_ == nullptr) {
+    return true;
+  }
+  return StackCanaryIntact(usable_ - kStackCanaryBytes, kStackCanaryBytes);
+}
+
+size_t GuardedStack::HighWaterMark() const {
+  if (usable_ == nullptr || !painted_) {
+    return 0;
+  }
+  return StackHighWaterMark(usable_, size_);
+}
+
+}  // namespace adios

@@ -1,6 +1,7 @@
 #include "src/core/md_system.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "src/base/stats.h"
 
@@ -111,6 +112,23 @@ MdSystem::MdSystem(const SystemConfig& config, Application* app) : config_(confi
   reclaim_opts.retry = config_.retry;
   reclaimer_ = std::make_unique<Reclaimer>(&engine_, reclaimer_core_.get(), mm_.get(),
                                            reclaim_qp, reclaim_opts);
+
+  // --- Invariant checker (src/check/) ---
+  CheckOptions check_opts = config_.check;
+  if (const char* env = std::getenv("ADIOS_CHECKS"); env != nullptr && env[0] == '1') {
+    check_opts.enabled = true;
+  }
+  if (check_opts.enabled) {
+    InvariantChecker::Deps deps;
+    deps.engine = &engine_;
+    deps.mm = mm_.get();
+    deps.region = region_.get();
+    deps.reclaimer = reclaimer_.get();
+    deps.fabric = fabric_.get();
+    deps.pool = pool_.get();
+    checker_ = std::make_unique<InvariantChecker>(check_opts, deps);
+    checker_->Install();
+  }
 }
 
 MdSystem::~MdSystem() = default;
@@ -140,6 +158,12 @@ RunResult MdSystem::Run(double offered_rps, SimDuration warmup_ns, SimDuration m
   }
   reclaimer_->Start();
   loadgen_->Start();
+  if (checker_ != nullptr) {
+    // Audits stop rescheduling at the planned window end so the drain phase
+    // (Engine::Run runs until the queue empties) can terminate; a final
+    // AuditNow() below covers the drained state.
+    checker_->SchedulePeriodicAudits(warmup_ns + measure_ns);
+  }
 
   // Warmup: fill the local cache, then open the measurement window.
   engine_.RunUntil(warmup_ns);
@@ -173,6 +197,11 @@ RunResult MdSystem::Run(double offered_rps, SimDuration warmup_ns, SimDuration m
 
   // Run the measurement window and drain all in-flight requests.
   engine_.Run();
+
+  if (checker_ != nullptr) {
+    checker_->AuditNow();
+    checker_->UnpoisonAll();
+  }
 
   RunResult r;
   r.system = config_.name;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/apps/application.h"
+#include "src/check/invariant_checker.h"
 #include "src/core/run_result.h"
 #include "src/core/system_config.h"
 #include "src/mem/memory_manager.h"
@@ -48,6 +49,8 @@ class MdSystem {
   Reclaimer& reclaimer() { return *reclaimer_; }
   // Null unless config.fault.enabled().
   FaultInjector* fault_injector() { return injector_.get(); }
+  // Null unless config.check.enabled or the ADIOS_CHECKS=1 env var is set.
+  InvariantChecker* invariant_checker() { return checker_.get(); }
   std::vector<std::unique_ptr<Worker>>& workers() { return workers_; }
   RemoteRegion& region() { return *region_; }
   const SystemConfig& config() const { return config_; }
@@ -70,6 +73,7 @@ class MdSystem {
   std::unique_ptr<Dispatcher> dispatcher_;
   std::unique_ptr<Reclaimer> reclaimer_;
   std::unique_ptr<LoadGenerator> loadgen_;
+  std::unique_ptr<InvariantChecker> checker_;
   std::function<void(Request*)> reply_sink_;
   std::function<void(Request*)> drop_sink_;
   bool ran_ = false;

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "src/base/time.h"
+#include "src/check/check_options.h"
 #include "src/mem/reclaimer.h"
 #include "src/rdma/fault_injector.h"
 #include "src/rdma/params.h"
@@ -57,6 +58,10 @@ struct SystemConfig {
 
   UnithreadPool::Options pool = DefaultPool();
 
+  // Runtime invariant checking (src/check/). MdSystem also enables this
+  // when the ADIOS_CHECKS=1 environment variable is set.
+  CheckOptions check;
+
   uint64_t seed = 1;
 
   static UnithreadPool::Options DefaultPool() {
@@ -66,7 +71,13 @@ struct SystemConfig {
     // >10x any observed peak) to keep host memory modest. Stacks are roomy
     // because handlers execute real C++ on them.
     p.count = 8192;
+#if defined(__SANITIZE_ADDRESS__)
+    // ASan redzones inflate every frame; double the universal stacks so the
+    // sanitized build exercises the same code without overflowing.
+    p.buffer_size = 64 * 1024;
+#else
     p.buffer_size = 32 * 1024;
+#endif
     p.mtu = 1536;
     return p;
   }

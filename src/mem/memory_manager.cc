@@ -49,6 +49,9 @@ void MemoryManager::AddFetchWaiter(uint64_t vpage, FetchWaiter resume) {
 
 void MemoryManager::CompleteFetch(uint64_t vpage) {
   page_table_.MarkPresent(vpage);
+  if (map_hook_) {
+    map_hook_(vpage);  // Unpoison before any waiter can read the page.
+  }
   auto it = fetch_waiters_.find(vpage);
   if (it == fetch_waiters_.end()) {
     return;
@@ -82,6 +85,9 @@ bool MemoryManager::EvictPage(uint64_t vpage) {
   ADIOS_CHECK(e.state == PageState::kPresent);
   const bool dirty = e.dirty;
   page_table_.MarkRemote(vpage);
+  if (evict_hook_) {
+    evict_hook_(vpage);
+  }
   if (dirty) {
     ++stats_.evictions_dirty;
     return true;  // Frame stays reserved until the write-back completes.

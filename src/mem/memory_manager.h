@@ -88,6 +88,7 @@ class MemoryManager {
   // --- Frame budget ---
 
   uint64_t free_frames() const { return options_.local_pages - used_frames_; }
+  uint64_t used_frames() const { return used_frames_; }
   bool HasFreeFrame() const { return used_frames_ < options_.local_pages; }
   bool BelowLowWatermark() const {
     return static_cast<double>(free_frames()) <
@@ -145,6 +146,13 @@ class MemoryManager {
   // watermark (the proactive reclaimer's kick).
   void set_reclaim_kick(std::function<void()> kick) { reclaim_kick_ = std::move(kick); }
 
+  // Residency-transition hooks for the invariant checker (src/check/):
+  // evict_hook fires after a page unmaps, map_hook after a fetched page maps
+  // (before its waiters resume). Null clears.
+  using PageHook = std::function<void(uint64_t vpage)>;
+  void set_evict_hook(PageHook hook) { evict_hook_ = std::move(hook); }
+  void set_map_hook(PageHook hook) { map_hook_ = std::move(hook); }
+
  private:
   void TakeFrame();
 
@@ -156,6 +164,8 @@ class MemoryManager {
   std::deque<std::function<void()>> frame_callbacks_;
   std::unordered_map<uint64_t, std::vector<FetchWaiter>> fetch_waiters_;
   std::function<void()> reclaim_kick_;
+  PageHook evict_hook_;
+  PageHook map_hook_;
   Stats stats_;
 };
 

@@ -152,11 +152,15 @@ void Reclaimer::Loop() {
       const bool dirty = mm_->EvictPage(victim);
       ++pages_reclaimed_;
       if (dirty) {
+        // Counted before the post: the frame is already off the books
+        // (EvictPage kept it reserved), so frame conservation — resident +
+        // fetching + writebacks == used — must see the write-back even while
+        // this fiber is parked in cq_wait_ waiting for send-queue space.
+        ++writebacks_inflight_;
         while (!qp_->PostWrite(mm_->page_bytes(), victim)) {
           cq_wait_.Wait();
           DrainWriteCompletions();
         }
-        ++writebacks_inflight_;
         if (options_.retry.enabled) {
           TrackWriteback(victim);
         }

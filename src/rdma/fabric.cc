@@ -70,6 +70,7 @@ bool QueuePair::PostSend(uint64_t bytes, uint64_t wr_id, std::function<void()> o
 void QueuePair::Complete(uint64_t wr_id, WorkType type, CompletionStatus status) {
   ADIOS_DCHECK(outstanding_ > 0);
   --outstanding_;
+  ++completions_;
   cq_->Push(Completion{wr_id, id_, type, fabric_->engine()->now(), status});
 }
 
@@ -282,6 +283,22 @@ uint32_t RdmaFabric::TotalOutstanding() const {
   uint32_t n = 0;
   for (const auto& qp : qps_) {
     n += qp->outstanding();
+  }
+  return n;
+}
+
+uint64_t RdmaFabric::TotalPosted() const {
+  uint64_t n = 0;
+  for (const auto& qp : qps_) {
+    n += qp->posted_reads() + qp->posted_writes() + qp->posted_sends();
+  }
+  return n;
+}
+
+uint64_t RdmaFabric::TotalCompletions() const {
+  uint64_t n = 0;
+  for (const auto& qp : qps_) {
+    n += qp->completions();
   }
   return n;
 }

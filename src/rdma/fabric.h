@@ -70,6 +70,11 @@ class QueuePair {
   uint64_t posted_reads() const { return posted_reads_; }
   uint64_t posted_writes() const { return posted_writes_; }
   uint64_t posted_sends() const { return posted_sends_; }
+  // Completions that retired a WQE. The fault injector's duplicated
+  // completions bypass this (and `outstanding`) by design, so
+  //   posted_reads + posted_writes + posted_sends == completions + outstanding
+  // holds even under injection (audited by src/check/invariant_checker.cc).
+  uint64_t completions() const { return completions_; }
 
  private:
   friend class RdmaFabric;
@@ -86,6 +91,7 @@ class QueuePair {
   uint64_t posted_reads_ = 0;
   uint64_t posted_writes_ = 0;
   uint64_t posted_sends_ = 0;
+  uint64_t completions_ = 0;
 };
 
 class RdmaFabric {
@@ -121,6 +127,9 @@ class RdmaFabric {
 
   // Total outstanding one-sided operations across all QPs.
   uint32_t TotalOutstanding() const;
+  // Work-conservation counters across all QPs (invariant checker).
+  uint64_t TotalPosted() const;
+  uint64_t TotalCompletions() const;
 
   // Installs (or clears) a fault injector. Null = the ideal fabric; the
   // datapath then pays exactly one branch per WQE and is bit-identical to a

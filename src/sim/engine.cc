@@ -3,8 +3,11 @@
 namespace adios {
 
 Fiber::Fiber(Engine* engine, std::string name, std::function<void()> fn, size_t stack_bytes)
-    : name_(std::move(name)), fn_(std::move(fn)), stack_(stack_bytes) {
-  ADIOS_CHECK(stack_bytes >= 4096);
+    : name_(std::move(name)),
+      fn_(std::move(fn)),
+      // Fibers are few and long-lived, so always paint for high-water marks.
+      stack_((stack_bytes + 15) & ~static_cast<size_t>(15), /*paint=*/true) {
+  ADIOS_CHECK_GE(stack_bytes, 4096u);
   ctx_.Reset(stack_.data(), stack_.size(), &Fiber::Entry, this, engine->main_context());
 }
 
@@ -82,14 +85,41 @@ void Engine::Wait(SimDuration d) {
     self->state = ContextState::kRunning;
     RawSwitch(current_, self);
   });
-  RawSwitch(self, &main_ctx_);
+  SwitchToMain();
 }
 
 void Engine::SuspendCurrent() {
   ADIOS_CHECK(!on_main());
   UnithreadContext* self = current_;
   self->state = ContextState::kBlocked;
-  RawSwitch(self, &main_ctx_);
+  SwitchToMain();
+}
+
+bool Engine::IsTrackedContext(const UnithreadContext* ctx) const {
+  if (ctx == &main_ctx_) {
+    return true;
+  }
+  for (const auto& fiber : fibers_) {
+    if (&fiber->ctx_ == ctx) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Engine::StackAuditResult Engine::AuditStacks() const {
+  StackAuditResult result;
+  for (const auto& fiber : fibers_) {
+    ++result.fibers;
+    if (!fiber->stack_.CanaryIntact()) {
+      ++result.canary_violations;
+    }
+    const size_t hwm = fiber->stack_.HighWaterMark();
+    if (hwm > result.max_high_water) {
+      result.max_high_water = hwm;
+    }
+  }
+  return result;
 }
 
 void Engine::ResumeLater(UnithreadContext* ctx, SimDuration delay) {

@@ -26,6 +26,7 @@
 
 #include "src/base/check.h"
 #include "src/base/time.h"
+#include "src/check/stack_guard.h"
 #include "src/unithread/context.h"
 
 namespace adios {
@@ -51,7 +52,7 @@ class Fiber {
 
   std::string name_;
   std::function<void()> fn_;
-  std::vector<std::byte> stack_;
+  GuardedStack stack_;  // Canary-guarded, 16-aligned, painted for HWM audits.
   UnithreadContext ctx_;
 };
 
@@ -116,13 +117,34 @@ class Engine {
   void RawSwitch(UnithreadContext* from, UnithreadContext* to) {
     ADIOS_DCHECK(from == current_);
     current_ = to;
-    AdiosContextSwitch(from, to);
+    AdiosTrackedContextSwitch(from, to);
     current_ = from;
+  }
+
+  // From inside any engine-managed context: tracked switch back to the
+  // engine's main (event-loop) context without changing blocked state.
+  void SwitchToMain() {
+    ADIOS_CHECK(!on_main());
+    RawSwitch(current_, &main_ctx_);
   }
 
   UnithreadContext* current_context() { return current_; }
   UnithreadContext* main_context() { return &main_ctx_; }
   bool on_main() const { return current_ == &main_ctx_; }
+
+  // True for contexts participating in the engine's current-context
+  // protocol: the main context and every fiber context. The switch-
+  // discipline checker (src/check/) flags direct AdiosContextSwitch calls
+  // on these. Linear in fiber count; audit-path only.
+  bool IsTrackedContext(const UnithreadContext* ctx) const;
+
+  // Canary + high-water-mark audit over all fiber stacks.
+  struct StackAuditResult {
+    size_t fibers = 0;
+    size_t canary_violations = 0;
+    size_t max_high_water = 0;  // Deepest stack usage seen, in bytes.
+  };
+  StackAuditResult AuditStacks() const;
 
   uint64_t events_processed() const { return events_processed_; }
 

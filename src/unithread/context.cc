@@ -7,6 +7,24 @@
 
 #include "src/base/check.h"
 
+// AddressSanitizer fiber annotations. Without them ASan's shadow-stack
+// bookkeeping is destroyed the first time AdiosContextSwitchAsm moves rsp to
+// a heap-allocated stack; with them the full test suite runs clean under
+// -DADIOS_SANITIZE=address (docs/SANITIZERS.md).
+#if defined(__SANITIZE_ADDRESS__)
+#define ADIOS_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define ADIOS_ASAN_FIBERS 1
+#endif
+#endif
+
+#if defined(ADIOS_ASAN_FIBERS)
+#include <sanitizer/common_interface_defs.h>
+
+#include <unordered_map>
+#endif
+
 namespace adios {
 namespace {
 
@@ -18,6 +36,76 @@ constexpr size_t kFxsaveFcwOffset = 0;
 constexpr size_t kFxsaveMxcsrOffset = 24;
 constexpr size_t kFxsaveMxcsrMaskOffset = 28;
 
+// Switch observer (invariant checker hook) and the tracked-switch flag set
+// by AdiosTrackedContextSwitch for exactly one switch. All switching is
+// per-thread (the engine and the cooperative scheduler are single-threaded),
+// so the bookkeeping is thread_local.
+thread_local ContextSwitchObserver g_observer = nullptr;
+thread_local void* g_observer_user = nullptr;
+thread_local bool g_tracked_switch = false;
+
+#if defined(ADIOS_ASAN_FIBERS)
+
+// Per-context sanitizer state, keyed by the context's address. Contexts with
+// stacks prepared by Reset() get their bounds recorded there; "host" save
+// slots (the engine's main context, a test's parent slot) run on the thread
+// stack and have their bounds learned from the out-parameters of the first
+// __sanitizer_finish_switch_fiber executed on a fiber they entered.
+struct FiberSanState {
+  void* fake_stack = nullptr;  // ASan fake-stack save slot while suspended.
+  const void* bottom = nullptr;
+  size_t size = 0;
+};
+
+thread_local std::unordered_map<const void*, FiberSanState>* g_san_states = nullptr;
+// The context that most recently suspended on this thread; the resumed side
+// attributes finish_switch_fiber's old-stack bounds to it (only host save
+// slots still need them).
+thread_local const void* g_switch_source = nullptr;
+
+FiberSanState& SanState(const void* key) {
+  if (g_san_states == nullptr) {
+    g_san_states = new std::unordered_map<const void*, FiberSanState>();
+  }
+  return (*g_san_states)[key];
+}
+
+void SanNoteStack(const void* key, const void* low, size_t size) {
+  FiberSanState& s = SanState(key);
+  s.fake_stack = nullptr;
+  s.bottom = low;
+  s.size = size;
+}
+
+void SanStartSwitch(const void* from_key, bool from_dying, const void* to_key) {
+  FiberSanState& from = SanState(from_key);
+  FiberSanState& to = SanState(to_key);
+  g_switch_source = from_key;
+  // A dying context passes nullptr so ASan frees its fake stack.
+  __sanitizer_start_switch_fiber(from_dying ? nullptr : &from.fake_stack, to.bottom, to.size);
+}
+
+void SanFinishSwitch(const void* self_key) {
+  FiberSanState& self = SanState(self_key);
+  const void* old_bottom = nullptr;
+  size_t old_size = 0;
+  __sanitizer_finish_switch_fiber(self.fake_stack, &old_bottom, &old_size);
+  self.fake_stack = nullptr;
+  if (g_switch_source != nullptr && g_switch_source != self_key) {
+    FiberSanState& source = SanState(g_switch_source);
+    if (source.bottom == nullptr) {
+      source.bottom = old_bottom;
+      source.size = old_size;
+    }
+  }
+}
+
+#else  // !ADIOS_ASAN_FIBERS
+
+inline void SanNoteStack(const void*, const void*, size_t) {}
+
+#endif  // ADIOS_ASAN_FIBERS
+
 }  // namespace
 
 extern "C" void AdiosContextEntryThunk();
@@ -25,29 +113,85 @@ extern "C" void AdiosHeavyEntryThunk();
 
 // Called (via the asm thunk) the first time a fresh context runs.
 extern "C" [[noreturn]] void AdiosUnithreadTrampoline(UnithreadContext* ctx) {
+#if defined(ADIOS_ASAN_FIBERS)
+  SanFinishSwitch(ctx);  // First instruction on the new stack: land the switch.
+#endif
   ADIOS_CHECK(ctx != nullptr);
   ADIOS_CHECK(ctx->entry != nullptr);
   ctx->state = ContextState::kRunning;
   ctx->entry(ctx->arg);
   ctx->state = ContextState::kFinished;
   ADIOS_CHECK(ctx->parent != nullptr);
-  // One-way switch: the dying context's rsp slot is reused as scratch.
-  AdiosContextSwitch(ctx, ctx->parent);
+  // One-way switch: the dying context's rsp slot is reused as scratch. This
+  // is part of the engine's tracked protocol (the resume that ran entry() to
+  // completion returns through here), so it announces itself as tracked.
+  AdiosTrackedContextSwitch(ctx, ctx->parent);
   std::fprintf(stderr, "adios: finished unithread context was resumed\n");
   std::abort();
 }
 
-extern "C" [[noreturn]] void AdiosHeavyEntryTrampoline(ContextEntry entry, void* arg) {
+extern "C" [[noreturn]] void AdiosHeavyEntryTrampoline(ContextEntry entry, void* arg,
+                                                       [[maybe_unused]] HeavyContext* self) {
+#if defined(ADIOS_ASAN_FIBERS)
+  SanFinishSwitch(self);
+#endif
   ADIOS_CHECK(entry != nullptr);
   entry(arg);
   std::fprintf(stderr, "adios: heavy context entry returned (unsupported)\n");
   std::abort();
 }
 
+void AdiosContextSwitch(UnithreadContext* from, UnithreadContext* to) {
+  const bool tracked = g_tracked_switch;
+  g_tracked_switch = false;
+  // Double-finish detection: a finished context's saved rsp points into the
+  // trampoline's dead frame; resuming it would corrupt whatever now occupies
+  // that stack. Fail deterministically instead.
+  ADIOS_CHECK(!to->finished());
+  if (g_observer != nullptr) {
+    g_observer(g_observer_user, from, to, tracked);
+  }
+#if defined(ADIOS_ASAN_FIBERS)
+  SanStartSwitch(from, from->finished(), to);
+  AdiosContextSwitchAsm(from, to);
+  SanFinishSwitch(from);
+#else
+  AdiosContextSwitchAsm(from, to);
+#endif
+}
+
+void AdiosTrackedContextSwitch(UnithreadContext* from, UnithreadContext* to) {
+  g_tracked_switch = true;
+  AdiosContextSwitch(from, to);
+}
+
+void SetContextSwitchObserver(ContextSwitchObserver observer, void* user) {
+  g_observer = observer;
+  g_observer_user = user;
+}
+
+bool ContextSwitchesAreSanitized() {
+#if defined(ADIOS_ASAN_FIBERS)
+  return true;
+#else
+  return false;
+#endif
+}
+
+void AdiosHeavyContextSwitch(HeavyContext* from, HeavyContext* to) {
+#if defined(ADIOS_ASAN_FIBERS)
+  SanStartSwitch(from, /*from_dying=*/false, to);
+  AdiosHeavyContextSwitchAsm(from, to);
+  SanFinishSwitch(from);
+#else
+  AdiosHeavyContextSwitchAsm(from, to);
+#endif
+}
+
 void UnithreadContext::Reset(void* stack_low_addr, size_t size, ContextEntry entry_fn,
                              void* entry_arg, UnithreadContext* parent_ctx) {
   ADIOS_CHECK(stack_low_addr != nullptr);
-  ADIOS_CHECK(size >= 512);
+  ADIOS_CHECK_GE(size, 512u);
   ADIOS_CHECK(entry_fn != nullptr);
 
   stack_low = stack_low_addr;
@@ -57,13 +201,14 @@ void UnithreadContext::Reset(void* stack_low_addr, size_t size, ContextEntry ent
   parent = parent_ctx;
   state = ContextState::kRunnable;
   switch_count = 0;
+  SanNoteStack(this, stack_low_addr, size);
 
   // 16-align the stack top; the thunk runs with rsp == top (ABI-conformant
   // "before call" alignment).
   uintptr_t top = reinterpret_cast<uintptr_t>(stack_low_addr) + size;
   top &= ~static_cast<uintptr_t>(0xf);
 
-  // Fabricate the frame AdiosContextSwitch's restore path expects.
+  // Fabricate the frame AdiosContextSwitchAsm's restore path expects.
   auto slot = [top](int i) { return reinterpret_cast<uint64_t*>(top - 8 * i); };
   *slot(1) = reinterpret_cast<uint64_t>(&AdiosContextEntryThunk);  // ret target
   *slot(2) = 0;                                                    // rbp
@@ -82,16 +227,18 @@ void UnithreadContext::Reset(void* stack_low_addr, size_t size, ContextEntry ent
 void HeavyContext::Reset(void* stack_low_addr, size_t size, ContextEntry entry_fn,
                          void* entry_arg) {
   ADIOS_CHECK(stack_low_addr != nullptr);
-  ADIOS_CHECK(size >= 512);
+  ADIOS_CHECK_GE(size, 512u);
   ADIOS_CHECK(entry_fn != nullptr);
 
   std::memset(this, 0, sizeof(*this));
+  SanNoteStack(this, stack_low_addr, size);
 
   uintptr_t top = reinterpret_cast<uintptr_t>(stack_low_addr) + size;
   top &= ~static_cast<uintptr_t>(0xf);
 
   gregs[6] = reinterpret_cast<uint64_t>(entry_fn);  // r12
   gregs[7] = reinterpret_cast<uint64_t>(entry_arg);  // r13
+  gregs[8] = reinterpret_cast<uint64_t>(this);       // r14 -> ctx (thunk -> trampoline)
   gregs[15] = top;                                   // rsp
   gregs[16] = reinterpret_cast<uint64_t>(&AdiosHeavyEntryThunk);  // rip
   // mxcsr/fpucw slot (gregs[17]) holds {mxcsr:u32, fpucw:u16}.

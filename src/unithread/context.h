@@ -10,6 +10,13 @@
 // HeavyContext reproduces the comparator in Table 1: a ucontext_t-class
 // mechanism (Shinjuku's) that saves the full general-purpose register file
 // plus a 512-byte fxsave64 image, in a 968-byte structure.
+//
+// Every switch goes through AdiosContextSwitch(), a thin wrapper over the
+// raw assembly that (a) carries AddressSanitizer fiber annotations
+// (__sanitizer_start_switch_fiber / __sanitizer_finish_switch_fiber) so the
+// whole runtime runs clean under -DADIOS_SANITIZE=address, and (b) feeds the
+// invariant checker's context-switch-discipline observer (src/check/). In a
+// plain build the wrapper costs one predictable branch on top of the asm.
 
 #ifndef ADIOS_SRC_UNITHREAD_CONTEXT_H_
 #define ADIOS_SRC_UNITHREAD_CONTEXT_H_
@@ -56,9 +63,32 @@ struct alignas(16) UnithreadContext {
 
 static_assert(sizeof(UnithreadContext) == 80, "paper-matching 80-byte unithread context");
 
-// Saves the current execution state into `from` and resumes `to`.
-// Implemented in context_switch_x86_64.S.
-extern "C" void AdiosContextSwitch(UnithreadContext* from, UnithreadContext* to);
+// The raw assembly switch (context_switch_x86_64.S): saves the current
+// execution state into `from` and resumes `to`. Carries no sanitizer
+// annotations — call AdiosContextSwitch() instead unless you are measuring
+// the bare switch cost (bench_table1_ctxswitch).
+extern "C" void AdiosContextSwitchAsm(UnithreadContext* from, UnithreadContext* to);
+
+// The annotated switch every runtime path uses. Refuses (ADIOS_CHECK) to
+// resume a finished context — the "double finish" bug class — and keeps
+// AddressSanitizer's shadow-stack bookkeeping coherent across the swap.
+void AdiosContextSwitch(UnithreadContext* from, UnithreadContext* to);
+
+// Same as AdiosContextSwitch, but marks the switch as going through an
+// engine-tracked scheduling path (Engine::RawSwitch or the unithread finish
+// trampoline). The switch-discipline checker (src/check/switch_discipline.h)
+// aborts on any switch touching a tracked context that skipped this path.
+void AdiosTrackedContextSwitch(UnithreadContext* from, UnithreadContext* to);
+
+// Hook invoked on every AdiosContextSwitch before the stacks swap. `tracked`
+// is true when the switch came through AdiosTrackedContextSwitch. Installed
+// by the invariant checker; at most one observer per thread.
+using ContextSwitchObserver = void (*)(void* user, UnithreadContext* from, UnithreadContext* to,
+                                       bool tracked);
+void SetContextSwitchObserver(ContextSwitchObserver observer, void* user);
+
+// True when the build carries AddressSanitizer fiber annotations.
+bool ContextSwitchesAreSanitized();
 
 // Shinjuku-style heavy context: full GPR file + fxsave64 image + the sigmask
 // padding that makes glibc's ucontext_t 968 bytes. Functionally equivalent
@@ -77,9 +107,12 @@ struct alignas(16) HeavyContext {
 
 static_assert(sizeof(HeavyContext) >= 968, "comparator must be at least ucontext_t-sized");
 
-// Full-state switch (Table 1's ucontext_t-class mechanism, sans the
+// Full-state raw switch (Table 1's ucontext_t-class mechanism, sans the
 // sigprocmask syscall that glibc swapcontext adds on top).
-extern "C" void AdiosHeavyContextSwitch(HeavyContext* from, HeavyContext* to);
+extern "C" void AdiosHeavyContextSwitchAsm(HeavyContext* from, HeavyContext* to);
+
+// Annotated heavy switch (same sanitizer bookkeeping as the unithread one).
+void AdiosHeavyContextSwitch(HeavyContext* from, HeavyContext* to);
 
 }  // namespace adios
 

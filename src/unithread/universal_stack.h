@@ -1,15 +1,20 @@
 // Universal stack buffers and the pre-allocated unithread pool (paper §3.2).
 //
-// Each unithread occupies exactly one contiguous buffer laid out per Fig. 4:
+// Each unithread occupies exactly one contiguous buffer laid out per Fig. 4,
+// with a canary strip (src/check/stack_guard.h) carved out between the
+// context and the stack — the strip sits where a descending stack overflows,
+// so an overflow tramples the canary before it can corrupt the context or
+// the packet payload:
 //
-//   | packet header + payload | CTX (80 B) | context's stack ........... |
-//   0                       mtu           mtu+80                  buf_size
+//   | packet header + payload | CTX (80 B) | canary | context's stack ... |
+//   0                       mtu       mtu+80    mtu+80+64          buf_size
 //
 // The networking stack writes the request payload at the head of the buffer;
 // the context struct follows at the MTU boundary; the remaining space is the
 // unithread's *universal stack*, shared by application and kernel code (no
 // separate exception stack). The pool pre-allocates a fixed number of
-// buffers so request handling never allocates.
+// buffers so request handling never allocates. Release() verifies the
+// canary; Audit() sweeps every buffer (invariant checker).
 
 #ifndef ADIOS_SRC_UNITHREAD_UNIVERSAL_STACK_H_
 #define ADIOS_SRC_UNITHREAD_UNIVERSAL_STACK_H_
@@ -19,6 +24,7 @@
 #include <vector>
 
 #include "src/base/check.h"
+#include "src/check/stack_guard.h"
 #include "src/unithread/context.h"
 
 namespace adios {
@@ -31,7 +37,7 @@ class UnithreadBuffer {
   UnithreadBuffer(std::byte* base, size_t size, size_t mtu) : base_(base), size_(size), mtu_(mtu) {
     ADIOS_DCHECK(base != nullptr);
     ADIOS_DCHECK(mtu % alignof(UnithreadContext) == 0);
-    ADIOS_DCHECK(size > mtu + sizeof(UnithreadContext) + 512);
+    ADIOS_DCHECK(size > mtu + sizeof(UnithreadContext) + kStackCanaryBytes + 512);
   }
 
   bool valid() const { return base_ != nullptr; }
@@ -46,9 +52,15 @@ class UnithreadBuffer {
     return reinterpret_cast<UnithreadContext*>(base_ + mtu_);
   }
 
-  // The universal stack region: everything after the context.
-  std::byte* stack_low() { return base_ + mtu_ + sizeof(UnithreadContext); }
-  size_t stack_size() const { return size_ - mtu_ - sizeof(UnithreadContext); }
+  // The overflow canary strip between the context and the stack.
+  std::byte* canary() { return base_ + mtu_ + sizeof(UnithreadContext); }
+  const std::byte* canary() const { return base_ + mtu_ + sizeof(UnithreadContext); }
+
+  // The universal stack region: everything after the context and canary.
+  std::byte* stack_low() { return base_ + mtu_ + sizeof(UnithreadContext) + kStackCanaryBytes; }
+  size_t stack_size() const {
+    return size_ - mtu_ - sizeof(UnithreadContext) - kStackCanaryBytes;
+  }
 
   size_t buffer_size() const { return size_; }
 
@@ -70,8 +82,12 @@ class UnithreadPool {
  public:
   struct Options {
     size_t count = 1024;         // Number of pre-allocated unithreads.
-    size_t buffer_size = 16384;  // Total buffer bytes per unithread.
+    size_t buffer_size = 16384;  // Total buffer bytes per unithread, 16-aligned.
     size_t mtu = 1536;           // Payload area (network MTU), 16-aligned.
+    // Paint stacks at construction for high-water-mark recovery in Audit().
+    // Off by default: painting is cheap, but the HWM scan touches every
+    // stack byte on each audit.
+    bool paint_stacks = false;
   };
 
   explicit UnithreadPool(const Options& options);
@@ -98,6 +114,16 @@ class UnithreadPool {
 
   // Total memory footprint of the pool in bytes.
   size_t MemoryFootprint() const { return options_.count * options_.buffer_size; }
+
+  // Sweeps every buffer's canary and (when painted) high-water mark, and
+  // cross-checks the free list for duplicates/out-of-range indices.
+  struct AuditResult {
+    size_t buffers_checked = 0;
+    size_t canary_violations = 0;
+    bool free_list_ok = true;
+    size_t max_high_water = 0;  // 0 unless Options::paint_stacks.
+  };
+  AuditResult Audit() const;
 
  private:
   Options options_;

@@ -1,0 +1,87 @@
+// ADIOS_CHECK / ADIOS_CHECK_EQ-family assertion macros (src/base/check.h):
+// pass-through behavior, operand printing on failure, evaluation discipline.
+
+#include "src/base/check.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace adios {
+namespace {
+
+TEST(Check, PassingChecksAreSilent) {
+  ADIOS_CHECK(true);
+  ADIOS_CHECK(1 + 1 == 2);
+  ADIOS_CHECK_EQ(4, 4);
+  ADIOS_CHECK_NE(4, 5);
+  ADIOS_CHECK_LT(4, 5);
+  ADIOS_CHECK_LE(4, 4);
+  ADIOS_CHECK_GT(5, 4);
+  ADIOS_CHECK_GE(5, 5);
+  ADIOS_CHECK_EQ(std::string("abc"), "abc");
+}
+
+TEST(Check, OperandsEvaluateExactlyOnce) {
+  int x = 0;
+  int y = 9;
+  ADIOS_CHECK_EQ(++x, 1);
+  EXPECT_EQ(x, 1);
+  ADIOS_CHECK_GT(--y, 0);
+  EXPECT_EQ(y, 8);
+}
+
+TEST(CheckDeathTest, PlainCheckPrintsExpressionAndLocation) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(ADIOS_CHECK(2 < 1), "ADIOS_CHECK failed: 2 < 1 at .*check_test\\.cc");
+}
+
+TEST(CheckDeathTest, CheckEqPrintsBothOperands) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(ADIOS_CHECK_EQ(2 + 2, 5), "lhs = 4, rhs = 5");
+}
+
+TEST(CheckDeathTest, CheckNePrintsExpressionText) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const int a = 7;
+  EXPECT_DEATH(ADIOS_CHECK_NE(a, 7), "a != 7");
+}
+
+TEST(CheckDeathTest, CheckLePrintsStringOperands) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string big = "zzz";
+  EXPECT_DEATH(ADIOS_CHECK_LE(big, std::string("aaa")), "lhs = zzz, rhs = aaa");
+}
+
+struct Unprintable {
+  int a = 1;
+  int b = 2;
+  bool operator==(const Unprintable&) const = default;
+};
+
+TEST(CheckDeathTest, UnprintableOperandsFallBackToSize) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Unprintable u;
+  Unprintable v{.a = 3};
+  EXPECT_DEATH(ADIOS_CHECK_EQ(u, v), "unprintable 8-byte value");
+}
+
+TEST(CheckDeathTest, CheckFailedAcceptsDetails) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(CheckFailed("custom expr", "somefile.cc", 42, "extra context"),
+               "extra context");
+}
+
+#ifndef NDEBUG
+TEST(CheckDeathTest, DcheckFiresInDebugBuilds) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(ADIOS_DCHECK(false), "ADIOS_CHECK failed");
+}
+#else
+TEST(Check, DcheckCompilesOutInReleaseBuilds) {
+  ADIOS_DCHECK(false);  // Must be a no-op.
+}
+#endif
+
+}  // namespace
+}  // namespace adios

@@ -137,12 +137,15 @@ TEST(UniversalStack, LayoutMatchesFigure4) {
   UnithreadPool pool(opts);
   UnithreadBuffer buf = pool.Acquire();
   ASSERT_TRUE(buf.valid());
-  // | payload (mtu) | CTX | stack |
+  // | payload (mtu) | CTX | canary | stack |
   const std::byte* base = buf.payload();
   EXPECT_EQ(reinterpret_cast<const std::byte*>(buf.context()), base + opts.mtu);
-  EXPECT_EQ(buf.stack_low(), base + opts.mtu + sizeof(UnithreadContext));
-  EXPECT_EQ(buf.stack_size(), opts.buffer_size - opts.mtu - sizeof(UnithreadContext));
+  EXPECT_EQ(buf.canary(), base + opts.mtu + sizeof(UnithreadContext));
+  EXPECT_EQ(buf.stack_low(), base + opts.mtu + sizeof(UnithreadContext) + kStackCanaryBytes);
+  EXPECT_EQ(buf.stack_size(),
+            opts.buffer_size - opts.mtu - sizeof(UnithreadContext) - kStackCanaryBytes);
   EXPECT_EQ(buf.payload_capacity(), opts.mtu);
+  EXPECT_TRUE(StackCanaryIntact(buf.canary()));
   pool.Release(buf);
 }
 

@@ -1,0 +1,99 @@
+// Edge-case coverage for the FIFO sleep queue (src/sim/wait_queue.h).
+
+#include "src/sim/wait_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/sim/engine.h"
+
+namespace adios {
+namespace {
+
+TEST(WaitQueue, NotifyOnEmptyQueueIsANoOp) {
+  Engine engine;
+  WaitQueue q(&engine);
+  EXPECT_FALSE(q.NotifyOne());
+  EXPECT_EQ(q.waiter_count(), 0u);
+  q.NotifyAll();  // Must not abort or enqueue anything.
+  engine.Run();
+  EXPECT_EQ(engine.events_processed(), 0u);
+}
+
+TEST(WaitQueue, NotifyOneWakesInFifoOrder) {
+  Engine engine;
+  WaitQueue q(&engine);
+  std::vector<std::string> order;
+  for (const char* name : {"a", "b", "c"}) {
+    engine.SpawnFiber(name, [&q, &order, name] {
+      q.Wait();
+      order.push_back(name);
+    });
+  }
+  engine.Schedule(100, [&q] { EXPECT_TRUE(q.NotifyOne()); });
+  engine.Schedule(200, [&q] { EXPECT_TRUE(q.NotifyOne()); });
+  engine.Schedule(300, [&q] { EXPECT_TRUE(q.NotifyOne()); });
+  engine.Run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "a");
+  EXPECT_EQ(order[1], "b");
+  EXPECT_EQ(order[2], "c");
+}
+
+TEST(WaitQueue, NotifyAllWakesEveryWaiterOnce) {
+  Engine engine;
+  WaitQueue q(&engine);
+  int woken = 0;
+  for (int i = 0; i < 5; ++i) {
+    engine.SpawnFiber("w" + std::to_string(i), [&q, &woken] {
+      q.Wait();
+      ++woken;
+    });
+  }
+  engine.Schedule(50, [&q] {
+    EXPECT_EQ(q.waiter_count(), 5u);
+    q.NotifyAll();
+    EXPECT_EQ(q.waiter_count(), 0u);
+  });
+  engine.Run();
+  EXPECT_EQ(woken, 5);
+}
+
+TEST(WaitQueue, WakeDelayDefersResume) {
+  Engine engine;
+  WaitQueue q(&engine);
+  SimTime resumed_at = 0;
+  engine.SpawnFiber("sleeper", [&] {
+    q.Wait();
+    resumed_at = engine.now();
+  });
+  engine.Schedule(100, [&q] { q.NotifyOne(/*wake_delay=*/250); });
+  engine.Run();
+  EXPECT_EQ(resumed_at, 350u);
+}
+
+TEST(WaitQueue, ReWaitAfterWake) {
+  Engine engine;
+  WaitQueue q(&engine);
+  int rounds = 0;
+  engine.SpawnFiber("looper", [&] {
+    for (int i = 0; i < 3; ++i) {
+      q.Wait();
+      ++rounds;
+    }
+  });
+  // Notify more times than there are waits; the extras must report false.
+  for (int i = 1; i <= 5; ++i) {
+    engine.Schedule(i * 100, [&q, i] {
+      const bool woke = q.NotifyOne();
+      EXPECT_EQ(woke, i <= 3) << "notify #" << i;
+    });
+  }
+  engine.Run();
+  EXPECT_EQ(rounds, 3);
+}
+
+}  // namespace
+}  // namespace adios
