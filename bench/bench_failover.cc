@@ -1,0 +1,183 @@
+// Failover — blackout-recovery timeline with replicated memory nodes
+// (docs/FAILOVER.md).
+//
+// One memory node goes completely dark mid-measurement (link flap / node
+// reboot), then comes back and is re-silvered. The question is what the
+// client sees across the outage:
+//
+//   Adios-R2 — replicas=2: in-flight fetches fail over to the surviving
+//     replica, write-backs fan out around the dead node, and the recovered
+//     node is repaired in the background. Goodput dips during failure
+//     detection, then recovers; zero requests fail.
+//   Adios-R1 — no replica: retry exhaustion has nowhere to go, so the
+//     blackout is an abort cliff (failed requests, lost goodput).
+//   DiLOS-R2 — same replication, busy-waiting fault policy: every worker
+//     burns its core through the 20 us loss-detection + backoff window of
+//     every dropped fetch, so the outage costs capacity, not just latency.
+//
+// Output: per-bin goodput timeline across the window (blackout marked), a
+// summary table (failed requests, failovers, health transitions, re-silver
+// work), and a recovery check: post-blackout goodput must come back to
+// >= 90% of the pre-blackout average for the replicated Adios.
+//
+// Workload: memcached-style GET/SET (20% SETs so write-backs diverge and the
+// re-silver pass has real work), 10% local memory, 8 workers.
+
+#include <algorithm>
+
+#include "bench/bench_util.h"
+#include "src/apps/memcached_app.h"
+
+namespace adios {
+namespace {
+
+struct Point {
+  std::string label;
+  RunResult result;
+  SimDuration warmup = 0;
+};
+
+MemcachedApp::Options Workload() {
+  MemcachedApp::Options o;
+  o.num_keys = EnvU64("ADIOS_BENCH_FAILOVER_KEYS", 1ull << 17);
+  o.set_fraction = 0.2;
+  return o;
+}
+
+RunResult RunPoint(const std::string& system, uint32_t replicas, double load,
+                   SimDuration blackout_start, SimDuration blackout_duration,
+                   const BenchTiming& timing) {
+  SystemConfig cfg = system == "DiLOS" ? SystemConfig::DiLOS() : SystemConfig::Adios();
+  cfg.name = StrFormat("%s-R%u", system.c_str(), replicas);
+  cfg.replication.num_nodes = std::max(2u, replicas);  // R1 still has 2 nodes...
+  cfg.replication.replicas = replicas;                 // ...but only 1 copy per page.
+  if (replicas == 1) {
+    cfg.replication.num_nodes = 1;  // True single-node baseline: no fabric change.
+  }
+  cfg.local_memory_ratio = EnvDouble("ADIOS_BENCH_FAILOVER_LOCAL", 0.1);
+  cfg.fault.blackout_start_ns = blackout_start;
+  cfg.fault.blackout_duration_ns = blackout_duration;
+  cfg.fault.blackout_node = 0;
+  MemcachedApp app(Workload());
+  MdSystem sys(cfg, &app);
+  return sys.Run(load, timing.warmup, timing.measure);
+}
+
+// Goodput (K completions/s) binned by reply-landing time across the window.
+std::vector<double> Timeline(const RunResult& r, SimDuration warmup, SimDuration measure,
+                             SimDuration bin_ns) {
+  const size_t bins = static_cast<size_t>((measure + bin_ns - 1) / bin_ns);
+  std::vector<double> out(bins, 0.0);
+  for (const RequestSample& s : r.samples) {
+    if (s.finish_ns < warmup) {
+      continue;
+    }
+    const size_t bin = static_cast<size_t>((s.finish_ns - warmup) / bin_ns);
+    if (bin < bins) {
+      out[bin] += 1.0;
+    }
+  }
+  for (double& v : out) {
+    v = v / (static_cast<double>(bin_ns) * 1e-9) / 1000.0;  // K/s.
+  }
+  return out;
+}
+
+void Run() {
+  const BenchTiming timing = DefaultTiming();
+  const double load = EnvDouble("ADIOS_BENCH_FAILOVER_LOAD", 8e5);
+  // Blackout: 30% into the measurement window, 10% of it long (1 ms in the
+  // quick smoke, 2.5 ms in the full run) — long enough that detection,
+  // failover, recovery probing, and re-silvering all land inside the window.
+  const SimDuration blackout_start = timing.warmup + timing.measure * 3 / 10;
+  const SimDuration blackout_duration = timing.measure / 10;
+  const SimDuration bin_ns = timing.measure / 20;
+
+  PrintHeader("Failover", "goodput across a full memory-node blackout");
+  std::printf("blackout: node 0 dark for %.2f ms starting %.2f ms into the window\n",
+              static_cast<double>(blackout_duration) / 1e6,
+              static_cast<double>(blackout_start - timing.warmup) / 1e6);
+
+  std::vector<Point> points;
+  points.push_back({"Adios-R2",
+                    RunPoint("Adios", 2, load, blackout_start, blackout_duration, timing),
+                    timing.warmup});
+  points.push_back({"Adios-R1",
+                    RunPoint("Adios", 1, load, blackout_start, blackout_duration, timing),
+                    timing.warmup});
+  points.push_back({"DiLOS-R2",
+                    RunPoint("DiLOS", 2, load, blackout_start, blackout_duration, timing),
+                    timing.warmup});
+
+  // --- Timeline ---
+  std::vector<std::vector<double>> lines;
+  for (const Point& p : points) {
+    lines.push_back(Timeline(p.result, p.warmup, timing.measure, bin_ns));
+  }
+  std::printf("\ngoodput timeline (K completions/s per %.2f ms bin; * = blackout):\n",
+              static_cast<double>(bin_ns) / 1e6);
+  TablePrinter tl({"t(ms)", points[0].label, points[1].label, points[2].label, ""});
+  for (size_t b = 0; b < lines[0].size(); ++b) {
+    const SimTime bin_start = timing.warmup + static_cast<SimTime>(b) * bin_ns;
+    const bool dark = bin_start < blackout_start + blackout_duration &&
+                      bin_start + bin_ns > blackout_start;
+    tl.AddRow({StrFormat("%.2f", static_cast<double>(bin_start - timing.warmup) / 1e6),
+               StrFormat("%.0f", lines[0][b]), StrFormat("%.0f", lines[1][b]),
+               StrFormat("%.0f", lines[2][b]), dark ? "*" : ""});
+  }
+  tl.Print();
+
+  // --- Summary ---
+  TablePrinter summary({"system", "goodput(K)", "P99.9(us)", "failed", "failovers",
+                        "suspect", "dead", "resilvered", "diverged", "wasted"});
+  for (const Point& p : points) {
+    const RunResult& r = p.result;
+    summary.AddRow({p.label, Krps(r.goodput_rps), Us(r.e2e.P999()),
+                    StrFormat("%llu", static_cast<unsigned long long>(r.requests_failed)),
+                    StrFormat("%llu", static_cast<unsigned long long>(r.failovers)),
+                    StrFormat("%llu", static_cast<unsigned long long>(r.node_suspect_events)),
+                    StrFormat("%llu", static_cast<unsigned long long>(r.node_dead_events)),
+                    StrFormat("%llu", static_cast<unsigned long long>(r.pages_resilvered)),
+                    StrFormat("%llu", static_cast<unsigned long long>(r.divergence_events)),
+                    Pct(r.busy_wait_fraction)});
+  }
+  std::printf("\n");
+  summary.Print();
+  for (const Point& p : points) {
+    WarnTraceDrops(p.result);
+  }
+
+  // --- Recovery check: Adios-R2 goodput returns to >= 90% of pre-blackout ---
+  const std::vector<double>& adios = lines[0];
+  const size_t first_dark = static_cast<size_t>((blackout_start - timing.warmup) / bin_ns);
+  const size_t first_clear =
+      static_cast<size_t>((blackout_start + blackout_duration - timing.warmup) / bin_ns) + 1;
+  double pre = 0.0;
+  for (size_t b = 0; b < first_dark; ++b) {
+    pre += adios[b];
+  }
+  pre /= static_cast<double>(first_dark == 0 ? 1 : first_dark);
+  double post_peak = 0.0;
+  for (size_t b = first_clear; b < adios.size(); ++b) {
+    post_peak = std::max(post_peak, adios[b]);
+  }
+  const RunResult& r2 = points[0].result;
+  std::printf("\nAdios-R2: pre-blackout %.0f K/s, post-blackout peak %.0f K/s (%.0f%%), "
+              "%llu failed requests\n",
+              pre, post_peak, 100.0 * post_peak / (pre > 0.0 ? pre : 1.0),
+              static_cast<unsigned long long>(r2.requests_failed));
+  const bool recovered = post_peak >= 0.9 * pre && r2.requests_failed == 0;
+  std::printf("recovery check (>=90%% of pre-blackout goodput, zero failed): %s\n",
+              recovered ? "PASS" : "FAIL");
+  std::printf("Adios-R1 aborts during the outage: %llu failed requests (the cliff "
+              "replication removes)\n",
+              static_cast<unsigned long long>(points[1].result.requests_failed));
+}
+
+}  // namespace
+}  // namespace adios
+
+int main() {
+  adios::Run();
+  return 0;
+}

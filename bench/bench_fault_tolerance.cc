@@ -37,6 +37,14 @@ ArrayApp::Options Workload() {
 RunResult RunPoint(const std::string& system, double load, const FaultInjector::Options& fault,
                    const BenchTiming& timing) {
   SystemConfig cfg = system == "DiLOS" ? SystemConfig::DiLOS() : SystemConfig::Adios();
+  if (system == "Adios-R2") {
+    // Same scheduler as Adios, but pages are replicated across two memory
+    // nodes: fetch-retry exhaustion fails over instead of aborting
+    // (docs/FAILOVER.md), so `failed` should stay at zero where the
+    // retry-only column aborts.
+    cfg.replication.num_nodes = 2;
+    cfg.replication.replicas = 2;
+  }
   cfg.local_memory_ratio = EnvDouble("ADIOS_BENCH_FAULT_LOCAL", 0.1);
   cfg.fault = fault;
   ArrayApp app(Workload());
@@ -49,6 +57,7 @@ void AddRow(TablePrinter& table, const std::string& axis, const std::string& sys
   table.AddRow({axis, system, Krps(r.goodput_rps), Us(r.e2e.P999()),
                 StrFormat("%llu", static_cast<unsigned long long>(r.fetch_retries)),
                 StrFormat("%llu", static_cast<unsigned long long>(r.requests_failed)),
+                StrFormat("%llu", static_cast<unsigned long long>(r.failovers)),
                 StrFormat("%llu", static_cast<unsigned long long>(r.dropped)),
                 Pct(r.busy_wait_fraction)});
 }
@@ -57,7 +66,7 @@ void Run() {
   const BenchTiming timing = DefaultTiming();
   const double load = EnvDouble("ADIOS_BENCH_FAULT_LOAD", 1.2e6);
   const double knee_load = EnvDouble("ADIOS_BENCH_FAULT_KNEE_LOAD", 2.6e6);
-  const std::vector<std::string> systems = {"DiLOS", "Adios"};
+  const std::vector<std::string> systems = {"DiLOS", "Adios", "Adios-R2"};
 
   PrintHeader("Fault tolerance (a)", "goodput and tail vs READ loss rate");
   std::vector<double> losses = {0.0, 0.001, 0.01, 0.05};
@@ -65,7 +74,7 @@ void Run() {
     losses = {0.0, 0.01};
   }
   TablePrinter loss_table({"loss", "system", "goodput(K)", "P99.9(us)", "retries", "failed",
-                           "drops", "wasted"});
+                           "failovers", "drops", "wasted"});
   for (double loss : losses) {
     for (const auto& system : systems) {
       FaultInjector::Options fault;
@@ -82,7 +91,7 @@ void Run() {
     durations_us = {0, 100};
   }
   TablePrinter brown_table({"brownout", "system", "goodput(K)", "P99.9(us)", "retries",
-                            "failed", "drops", "wasted"});
+                            "failed", "failovers", "drops", "wasted"});
   for (uint64_t dur_us : durations_us) {
     for (const auto& system : systems) {
       FaultInjector::Options fault;
@@ -105,8 +114,8 @@ void Run() {
   combined.brownout_period_ns = Microseconds(500);
   combined.brownout_duration_ns = Microseconds(100);
   TablePrinter combo_table({"point", "system", "goodput(K)", "P99.9(us)", "retries", "failed",
-                            "drops", "wasted"});
-  double goodput[2] = {0, 0};
+                            "failovers", "drops", "wasted"});
+  double goodput[3] = {0, 0, 0};
   for (size_t s = 0; s < systems.size(); ++s) {
     RunResult r = RunPoint(systems[s], knee_load, combined, timing);
     goodput[s] = r.goodput_rps;

@@ -67,6 +67,16 @@ inline void PrintBreakdown(const char* label, const RunResult& r,
   t.Print();
 }
 
+// Call after printing a run's tables: a truncated trace must never read as a
+// quiet run, so dropped trace records are surfaced next to the results.
+inline void WarnTraceDrops(const RunResult& r) {
+  if (r.trace_drops > 0) {
+    std::printf("  [%s] WARNING: tracer dropped %llu events at capacity; "
+                "timelines are incomplete\n",
+                r.system.c_str(), static_cast<unsigned long long>(r.trace_drops));
+  }
+}
+
 }  // namespace adios
 
 #endif  // ADIOS_BENCH_BENCH_UTIL_H_

@@ -88,12 +88,22 @@ void InvariantChecker::AuditFrameConservation() {
   const uint64_t fetching = deps_.mm->page_table().fetching_pages();
   const uint64_t writebacks =
       deps_.reclaimer != nullptr ? deps_.reclaimer->writebacks_inflight() : 0;
+  const uint64_t resilver =
+      deps_.reclaimer != nullptr ? deps_.reclaimer->resilver_frames_held() : 0;
   const uint64_t used = deps_.mm->used_frames();
-  if (resident + fetching + writebacks != used) {
+  if (resident + fetching + writebacks + resilver != used) {
     std::ostringstream os;
     os << "resident " << resident << " + fetching " << fetching << " + writebacks " << writebacks
-       << " != used frames " << used << " (leak or double-release)";
+       << " + resilver " << resilver << " != used frames " << used << " (leak or double-release)";
     Violation("frame conservation violated", os.str());
+  }
+  if (deps_.reclaimer != nullptr &&
+      deps_.reclaimer->writeback_pages_tracked() != writebacks) {
+    std::ostringstream os;
+    os << "write-back fan-out tracks " << deps_.reclaimer->writeback_pages_tracked()
+       << " pages but writebacks_inflight is " << writebacks
+       << " (a replica WQE settled without its page, or vice versa)";
+    Violation("write-back fan-out accounting drifted", os.str());
   }
 }
 

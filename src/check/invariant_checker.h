@@ -7,9 +7,12 @@
 // manager without standing up the whole system.
 //
 // Audited invariants (CheckOptions selects which):
-//   * Frame conservation: resident + fetching + writebacks-in-flight equals
-//     the memory manager's used frames — a leak on any path (fetch abort,
-//     eviction, write-back completion) shifts the balance.
+//   * Frame conservation: resident + fetching + writebacks-in-flight +
+//     resilver bounce frames equals the memory manager's used frames — a
+//     leak on any path (fetch abort, eviction, write-back completion,
+//     re-silver copy) shifts the balance. The replicated write-back fan-out
+//     is additionally audited: pages with a fan-out in flight must equal
+//     writebacks_inflight (each holds exactly one frame).
 //   * Page-table counter integrity: a full walk of the table must reproduce
 //     its own resident/fetching counters.
 //   * QP work conservation: per-fabric, posted ops == completions delivered

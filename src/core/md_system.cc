@@ -48,13 +48,49 @@ MdSystem::MdSystem(const SystemConfig& config, Application* app) : config_(confi
   if (safe_depth < fabric_params.qp_depth) {
     fabric_params.qp_depth = static_cast<uint32_t>(safe_depth);
   }
-  fabric_ = std::make_unique<RdmaFabric>(&engine_, fabric_params);
+  const uint32_t num_nodes = config_.replication.num_nodes;
+  ADIOS_CHECK(num_nodes >= 1);
+  ADIOS_CHECK(config_.replication.replicas >= 1);
+  ADIOS_CHECK(config_.replication.replicas <= num_nodes);
+  fabric_ = std::make_unique<RdmaFabric>(&engine_, fabric_params, num_nodes);
   if (config_.fault.enabled()) {
-    injector_ = std::make_unique<FaultInjector>(config_.fault);
-    fabric_->set_fault_injector(injector_.get());
+    ADIOS_CHECK(config_.fault.blackout_node < num_nodes);
+    for (uint32_t node = 0; node < num_nodes; ++node) {
+      FaultInjector::Options fopts = config_.fault;
+      if (node > 0) {
+        // Independent loss draws per node, deterministically derived from
+        // the run seed. Node 0 keeps the exact configured options so a
+        // single-node faulted run is bit-identical to the pre-replication
+        // system.
+        fopts.seed = config_.fault.seed + 0x9e3779b9ull * node;
+      }
+      if (node != config_.fault.blackout_node) {
+        // The blackout window targets exactly one node; the others keep
+        // only the statistical faults.
+        fopts.blackout_start_ns = 0;
+        fopts.blackout_duration_ns = 0;
+      }
+      auto inj = std::make_unique<FaultInjector>(fopts);
+      fabric_->set_node_fault_injector(node, inj.get());
+      injectors_.push_back(std::move(inj));
+    }
     // A lossy fabric without a retry layer wedges workers on fetches that
     // never complete; the deadline/retry pipeline comes with the injector.
     config_.retry.enabled = true;
+  }
+
+  // --- Replication (docs/FAILOVER.md) ---
+  if (config_.replication.enabled()) {
+    placement_ = std::make_unique<PlacementMap>(mm_opts.total_pages, num_nodes,
+                                                config_.replication.replicas);
+    health_ = std::make_unique<NodeHealthMonitor>(&engine_, config_.replication);
+    // Probe outcome: a node answers its keepalive unless it is inside its
+    // injector's blackout window.
+    health_->set_probe_fn([this](uint32_t node, SimTime now) {
+      const FaultInjector* inj =
+          node < injectors_.size() ? injectors_[node].get() : nullptr;
+      return inj == nullptr || !inj->InBlackout(now);
+    });
   }
 
   // --- Cores ---
@@ -103,6 +139,10 @@ MdSystem::MdSystem(const SystemConfig& config, Application* app) : config_(confi
     w->set_dispatcher(dispatcher_.get());
     w->set_peers(worker_ptrs);
     w->set_tracer(&tracer_);
+    if (config_.replication.enabled()) {
+      w->set_placement(placement_.get());
+      w->set_node_health(health_.get());
+    }
   }
 
   // --- Reclaimer ---
@@ -110,8 +150,27 @@ MdSystem::MdSystem(const SystemConfig& config, Application* app) : config_(confi
   QueuePair* reclaim_qp = fabric_->CreateQp(reclaim_cq);
   Reclaimer::Options reclaim_opts = config_.reclaim;
   reclaim_opts.retry = config_.retry;
+  reclaim_opts.resilver_bw_gbps = config_.replication.resilver_bw_gbps;
+  reclaim_opts.resilver_max_attempts = config_.replication.resilver_max_attempts;
   reclaimer_ = std::make_unique<Reclaimer>(&engine_, reclaimer_core_.get(), mm_.get(),
                                            reclaim_qp, reclaim_opts);
+  if (config_.replication.enabled()) {
+    reclaimer_->set_placement(placement_.get());
+    reclaimer_->set_node_health(health_.get());
+    // Installed after the reclaimer exists: health transitions are traced,
+    // and a node probed back from kDead triggers the re-silver pass.
+    health_->set_on_state_change([this](uint32_t node, NodeHealth from, NodeHealth to) {
+      if (to == NodeHealth::kSuspect) {
+        tracer_.Record(engine_.now(), 0, TraceEvent::kNodeSuspect, node);
+      } else if (to == NodeHealth::kDead) {
+        tracer_.Record(engine_.now(), 0, TraceEvent::kNodeDead, node);
+      } else if (to == NodeHealth::kResilvering) {
+        reclaimer_->BeginResilver(node);
+      } else if (from == NodeHealth::kResilvering && to == NodeHealth::kHealthy) {
+        tracer_.Record(engine_.now(), 0, TraceEvent::kResilverDone, node);
+      }
+    });
+  }
 
   // --- Invariant checker (src/check/) ---
   CheckOptions check_opts = config_.check;
@@ -240,15 +299,29 @@ RunResult MdSystem::Run(double offered_rps, SimDuration warmup_ns, SimDuration m
     r.requeues += w->preempt_fires();
     r.fetch_retries += w->fetch_retries();
     r.fetch_timeouts += w->fetch_timeouts();
+    r.failovers += w->failovers();
   }
   r.goodput_rps = loadgen_->GoodputRps();
   r.requests_failed = loadgen_->failed();
   r.writeback_retries = reclaimer_->writeback_retries();
   r.writeback_timeouts = reclaimer_->writeback_timeouts();
   r.writeback_aborts = reclaimer_->writeback_aborts();
-  if (injector_ != nullptr) {
-    r.brownout_ns = injector_->DegradedNs(engine_.now());
+  for (auto& inj : injectors_) {
+    // Degraded time of the worst node (single-node: the one injector).
+    r.brownout_ns = std::max(r.brownout_ns, inj->DegradedNs(engine_.now()));
   }
+  if (health_ != nullptr) {
+    r.node_suspect_events = health_->suspect_events();
+    r.node_dead_events = health_->dead_events();
+    r.node_recoveries = health_->recoveries();
+  }
+  r.pages_resilvered = reclaimer_->pages_resilvered();
+  r.resilver_failures = reclaimer_->resilver_failures();
+  if (placement_ != nullptr) {
+    r.replica_divergence = placement_->divergent_slots();
+    r.divergence_events = placement_->divergence_events();
+  }
+  r.trace_drops = tracer_.dropped();
   r.mean_outstanding_pf = pf_mean_stats.mean();
   r.pf_imbalance_stddev = pf_stddev_stats.mean();
   r.mean_central_queue_depth = queue_depth_stats.mean();

@@ -18,6 +18,7 @@
 #include "src/mem/reclaimer.h"
 #include "src/net/load_generator.h"
 #include "src/rdma/fabric.h"
+#include "src/rdma/node_health.h"
 #include "src/sched/dispatcher.h"
 #include "src/sched/worker.h"
 #include "src/sim/cpu_core.h"
@@ -47,8 +48,15 @@ class MdSystem {
   RdmaFabric& fabric() { return *fabric_; }
   Dispatcher& dispatcher() { return *dispatcher_; }
   Reclaimer& reclaimer() { return *reclaimer_; }
-  // Null unless config.fault.enabled().
-  FaultInjector* fault_injector() { return injector_.get(); }
+  // Node 0's injector; null unless config.fault.enabled().
+  FaultInjector* fault_injector() { return node_fault_injector(0); }
+  // Per-node injectors (one per memory node when fault injection is on).
+  FaultInjector* node_fault_injector(uint32_t node) {
+    return node < injectors_.size() ? injectors_[node].get() : nullptr;
+  }
+  // Null unless config.replication.enabled().
+  PlacementMap* placement() { return placement_.get(); }
+  NodeHealthMonitor* node_health() { return health_.get(); }
   // Null unless config.check.enabled or the ADIOS_CHECKS=1 env var is set.
   InvariantChecker* invariant_checker() { return checker_.get(); }
   std::vector<std::unique_ptr<Worker>>& workers() { return workers_; }
@@ -62,8 +70,10 @@ class MdSystem {
   Tracer tracer_;
   std::unique_ptr<RemoteRegion> region_;
   std::unique_ptr<RemoteHeap> heap_;
-  std::unique_ptr<FaultInjector> injector_;
+  std::vector<std::unique_ptr<FaultInjector>> injectors_;  // One per node.
   std::unique_ptr<RdmaFabric> fabric_;
+  std::unique_ptr<PlacementMap> placement_;
+  std::unique_ptr<NodeHealthMonitor> health_;
   std::unique_ptr<MemoryManager> mm_;
   std::vector<std::unique_ptr<CpuCore>> worker_cores_;
   std::unique_ptr<CpuCore> dispatcher_core_;

@@ -77,6 +77,22 @@ struct RunResult {
   uint64_t writeback_aborts = 0;  // Write-backs dropped after retry exhaustion.
   uint64_t brownout_ns = 0;       // Simulated time inside degraded windows.
 
+  // --- Replication / failover (docs/FAILOVER.md; all zero with a single
+  // memory node) ---
+  uint64_t failovers = 0;            // In-flight fetches redirected to a replica.
+  uint64_t node_suspect_events = 0;  // kHealthy -> kSuspect transitions.
+  uint64_t node_dead_events = 0;     // kSuspect -> kDead transitions.
+  uint64_t node_recoveries = 0;      // Suspect cleared or dead node probed back.
+  uint64_t pages_resilvered = 0;     // Replica copies restored by the re-silver pass.
+  uint64_t resilver_failures = 0;    // Pages left divergent after the attempt budget.
+  uint64_t replica_divergence = 0;   // Replica slots still out of sync at run end.
+  uint64_t divergence_events = 0;    // Cumulative slots that ever went out of sync.
+
+  // Trace records dropped at the tracer's capacity (0 unless tracing was
+  // enabled with too small a cap); printed by the bench tables so a
+  // truncated timeline is never mistaken for a quiet run.
+  uint64_t trace_drops = 0;
+
   std::vector<RequestSample> samples;
 
   // Computes component breakdowns at the given server-latency percentiles.

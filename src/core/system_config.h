@@ -19,6 +19,7 @@
 #include "src/check/check_options.h"
 #include "src/mem/reclaimer.h"
 #include "src/rdma/fault_injector.h"
+#include "src/rdma/node_health.h"
 #include "src/rdma/params.h"
 #include "src/sched/config.h"
 #include "src/unithread/universal_stack.h"
@@ -44,6 +45,14 @@ struct SystemConfig {
   // fault.enabled(); set it explicitly to run the pipeline on an ideal
   // fabric (e.g. in tests).
   RetryPolicy retry;
+
+  // Memory-node replication (docs/FAILOVER.md). Defaults to a single node,
+  // which is bit-identical to the pre-replication system: no placement map,
+  // no health monitor, no extra engine events. With num_nodes > 1, pages are
+  // placed primary+secondary across nodes, reads fail over on retry
+  // exhaustion or node suspicion, and recovered nodes are re-silvered in the
+  // background.
+  ReplicationConfig replication;
 
   // Paging granularity (log2 bytes): 12 = 4 KiB compute-node pages as in
   // the paper; 21 = 2 MiB huge pages (512x I/O amplification, §5.2).

@@ -112,6 +112,24 @@ class MemoryManager {
   // Releases one frame (eviction finished) and wakes one frame waiter.
   void ReleaseFrame();
 
+  // --- Re-silver bounce frames ---
+
+  // Reserves a local frame with no page-table transition: the re-silver pass
+  // stages a node-to-node page copy through compute-node DRAM (READ from a
+  // surviving replica, WRITE to the recovering node) while the page itself
+  // stays kRemote. The frame counts toward used_frames(); the frame-ownership
+  // auditor balances it against Reclaimer::resilver_frames_held(). Returns
+  // false when no frame is free (the caller backs off; re-silvering must
+  // never beat demand fetches to the last frame).
+  bool TryReserveBounceFrame() {
+    if (!HasFreeFrame()) {
+      return false;
+    }
+    TakeFrame();
+    return true;
+  }
+  void ReleaseBounceFrame() { ReleaseFrame(); }
+
   // --- Fetch protocol ---
 
   // Reserves a frame and transitions kRemote -> kFetching. The caller must

@@ -30,6 +30,48 @@ void Reclaimer::Start() {
   engine_->SpawnFiber("reclaimer", [this] { Loop(); });
 }
 
+void Reclaimer::WritebackTargets(uint64_t vpage, std::vector<uint32_t>* out) {
+  if (placement_ == nullptr) {
+    out->push_back(0);
+    return;
+  }
+  for (uint32_t slot = 0; slot < placement_->replicas(); ++slot) {
+    const uint32_t node = placement_->ReplicaNode(vpage, slot);
+    if (health_ != nullptr && health_->IsDead(node)) {
+      // The dead replica misses this update; it must not serve reads until
+      // the re-silver pass (or a later write-back) repairs it.
+      placement_->MarkOutOfSync(vpage, node);
+      continue;
+    }
+    out->push_back(node);
+  }
+}
+
+void Reclaimer::FinishWbReplica(uint64_t vpage, bool success) {
+  auto it = wb_pages_.find(vpage);
+  ADIOS_DCHECK(it != wb_pages_.end());
+  if (it == wb_pages_.end()) {
+    return;
+  }
+  if (success) {
+    ++it->second.succeeded;
+  }
+  ADIOS_DCHECK(it->second.remaining > 0);
+  if (--it->second.remaining > 0) {
+    return;  // Other replicas of this page are still in flight.
+  }
+  const bool none_ok = it->second.succeeded == 0;
+  wb_pages_.erase(it);
+  if (none_ok) {
+    // No replica took the update: the write-back is lost outright (the
+    // single-node abort of docs/FAULT_MODEL.md).
+    ++writeback_aborts_;
+  }
+  ADIOS_DCHECK(writebacks_inflight_ > 0);
+  --writebacks_inflight_;
+  mm_->ReleaseFrame();
+}
+
 void Reclaimer::DrainWriteCompletions() {
   std::vector<Completion> batch(16);
   for (;;) {
@@ -38,48 +80,64 @@ void Reclaimer::DrainWriteCompletions() {
       return;
     }
     for (size_t i = 0; i < n; ++i) {
-      ADIOS_DCHECK(batch[i].type == WorkType::kWrite);
+      const Completion& c = batch[i];
+      if (IsResilverId(c.wr_id)) {
+        OnResilverCompletion(c);
+        continue;
+      }
+      ADIOS_DCHECK(c.type == WorkType::kWrite);
       if (options_.retry.enabled) {
-        auto it = pending_wb_.find(batch[i].wr_id);
+        auto it = pending_wb_.find(c.wr_id);
         if (it == pending_wb_.end()) {
           continue;  // Late completion for a write-back that already settled.
         }
-        if (!batch[i].ok()) {
+        if (!c.ok()) {
+          if (health_ != nullptr) {
+            health_->ReportError(c.node);
+          }
           it->second.deadline.Cancel();
-          RetryOrDropWriteback(batch[i].wr_id);
+          RetryOrDropWriteback(c.wr_id);
           continue;
         }
         it->second.deadline.Cancel();
         pending_wb_.erase(it);
       }
-      ADIOS_DCHECK(writebacks_inflight_ > 0);
-      --writebacks_inflight_;
-      mm_->ReleaseFrame();
+      if (health_ != nullptr) {
+        health_->ReportSuccess(c.node);
+      }
+      if (placement_ != nullptr) {
+        // A successful write-back re-syncs a replica that had diverged.
+        placement_->MarkInSync(WbPageOf(c.wr_id), WbNodeOf(c.wr_id));
+      }
+      FinishWbReplica(WbPageOf(c.wr_id), /*success=*/true);
     }
     core_->Consume(30 * n);  // CQE processing.
   }
 }
 
-void Reclaimer::TrackWriteback(uint64_t vpage) {
-  PendingWriteback& pw = pending_wb_[vpage];
+void Reclaimer::TrackWriteback(uint64_t wr_id) {
+  PendingWriteback& pw = pending_wb_[wr_id];
   pw.attempts = 1;
   pw.backoff_ns = options_.retry.backoff_base_ns;
   pw.repost_pending = false;
   pw.deadline = engine_->ScheduleCancellable(
-      options_.retry.timeout_ns, [this, vpage] { OnWritebackDeadline(vpage); });
+      options_.retry.timeout_ns, [this, wr_id] { OnWritebackDeadline(wr_id); });
 }
 
-void Reclaimer::OnWritebackDeadline(uint64_t vpage) {
-  auto it = pending_wb_.find(vpage);
+void Reclaimer::OnWritebackDeadline(uint64_t wr_id) {
+  auto it = pending_wb_.find(wr_id);
   if (it == pending_wb_.end()) {
     return;  // Settled just before the deadline event ran.
   }
   ++writeback_timeouts_;
-  RetryOrDropWriteback(vpage);
+  if (health_ != nullptr) {
+    health_->ReportTimeout(WbNodeOf(wr_id));
+  }
+  RetryOrDropWriteback(wr_id);
 }
 
-void Reclaimer::RetryOrDropWriteback(uint64_t vpage) {
-  auto it = pending_wb_.find(vpage);
+void Reclaimer::RetryOrDropWriteback(uint64_t wr_id) {
+  auto it = pending_wb_.find(wr_id);
   if (it == pending_wb_.end()) {
     return;
   }
@@ -88,17 +146,18 @@ void Reclaimer::RetryOrDropWriteback(uint64_t vpage) {
     return;  // An error completion raced with the deadline; one repost suffices.
   }
   if (pw.attempts > options_.retry.max_retries) {
-    // Budget exhausted: drop the write-back. The page was unmapped at
-    // eviction, so its frame must still be released; the lost update is
-    // surfaced as writeback_aborts (a real deployment fails over to a
-    // replica here — docs/FAULT_MODEL.md).
+    // Budget exhausted: drop this replica's WRITE. The replica diverges (the
+    // re-silver pass repairs it later); the page's frame is released once
+    // the remaining replicas settle. Single-node systems have exactly one
+    // replica, so the drop is the legacy writeback_abort.
     pw.deadline.Cancel();
     pending_wb_.erase(it);
-    ++writeback_aborts_;
-    ADIOS_DCHECK(writebacks_inflight_ > 0);
-    --writebacks_inflight_;
-    mm_->ReleaseFrame();
-    // The abort happens off a timer, not a CQ push, so wake the loop
+    const uint64_t vpage = WbPageOf(wr_id);
+    if (placement_ != nullptr) {
+      placement_->MarkOutOfSync(vpage, WbNodeOf(wr_id));
+    }
+    FinishWbReplica(vpage, /*success=*/false);
+    // The drop happens off a timer, not a CQ push, so wake the loop
     // ourselves: it may be parked in cq_wait_ waiting for this write-back.
     cq_wait_.NotifyAll();
     sleep_queue_.NotifyAll();
@@ -109,21 +168,21 @@ void Reclaimer::RetryOrDropWriteback(uint64_t vpage) {
   const SimDuration backoff = pw.backoff_ns;
   pw.backoff_ns = options_.retry.NextBackoff(backoff);
   pw.repost_pending = true;
-  engine_->Schedule(backoff, [this, vpage] { RepostWriteback(vpage); });
+  engine_->Schedule(backoff, [this, wr_id] { RepostWriteback(wr_id); });
 }
 
-void Reclaimer::RepostWriteback(uint64_t vpage) {
-  auto it = pending_wb_.find(vpage);
+void Reclaimer::RepostWriteback(uint64_t wr_id) {
+  auto it = pending_wb_.find(wr_id);
   if (it == pending_wb_.end()) {
     return;
   }
-  if (!qp_->PostWrite(mm_->page_bytes(), vpage)) {
-    engine_->Schedule(1000, [this, vpage] { RepostWriteback(vpage); });
+  if (!qp_->PostWrite(mm_->page_bytes(), wr_id, WbNodeOf(wr_id))) {
+    engine_->Schedule(1000, [this, wr_id] { RepostWriteback(wr_id); });
     return;
   }
   it->second.repost_pending = false;
   it->second.deadline = engine_->ScheduleCancellable(
-      options_.retry.timeout_ns, [this, vpage] { OnWritebackDeadline(vpage); });
+      options_.retry.timeout_ns, [this, wr_id] { OnWritebackDeadline(wr_id); });
 }
 
 void Reclaimer::Loop() {
@@ -154,17 +213,277 @@ void Reclaimer::Loop() {
       if (dirty) {
         // Counted before the post: the frame is already off the books
         // (EvictPage kept it reserved), so frame conservation — resident +
-        // fetching + writebacks == used — must see the write-back even while
-        // this fiber is parked in cq_wait_ waiting for send-queue space.
+        // fetching + writebacks + resilver == used — must see the write-back
+        // even while this fiber is parked in cq_wait_ waiting for send-queue
+        // space.
         ++writebacks_inflight_;
-        while (!qp_->PostWrite(mm_->page_bytes(), victim)) {
+        while (wb_pages_.find(victim) != wb_pages_.end()) {
+          // A previous fan-out of this page is still settling (re-fetch +
+          // re-evict inside one retry window); its wr_ids would collide.
           cq_wait_.Wait();
           DrainWriteCompletions();
         }
-        if (options_.retry.enabled) {
-          TrackWriteback(victim);
+        wb_targets_scratch_.clear();
+        WritebackTargets(victim, &wb_targets_scratch_);
+        if (wb_targets_scratch_.empty()) {
+          // Every replica is dead: the update is lost now (each skipped
+          // replica was marked divergent above).
+          ++writeback_aborts_;
+          ADIOS_DCHECK(writebacks_inflight_ > 0);
+          --writebacks_inflight_;
+          mm_->ReleaseFrame();
+        } else {
+          wb_pages_[victim] =
+              WbPage{static_cast<uint32_t>(wb_targets_scratch_.size()), 0};
+          for (const uint32_t node : wb_targets_scratch_) {
+            const uint64_t wr_id = WbId(victim, node);
+            while (!qp_->PostWrite(mm_->page_bytes(), wr_id, node)) {
+              cq_wait_.Wait();
+              DrainWriteCompletions();
+            }
+            if (options_.retry.enabled) {
+              TrackWriteback(wr_id);
+            }
+          }
         }
       }
+    }
+  }
+}
+
+// --- Re-silver pass ---
+
+void Reclaimer::BeginResilver(uint32_t node) {
+  ADIOS_CHECK(placement_ != nullptr);
+  std::vector<uint64_t> pages;
+  placement_->CollectOutOfSync(node, &pages);
+  if (pages.empty() && resilver_pending_[node] == 0) {
+    // Nothing diverged (every missed update was healed by later demand
+    // write-backs): the node is current the moment it is back.
+    resilver_pending_.erase(node);
+    if (health_ != nullptr) {
+      health_->NotifyResilverDone(node);
+    }
+    return;
+  }
+  resilver_pending_[node] += pages.size();
+  for (const uint64_t vpage : pages) {
+    resilver_q_.push_back(ResilverWork{vpage, node, 0});
+  }
+  ArmResilverTick(ResilverIntervalNs());
+}
+
+void Reclaimer::ArmResilverTick(SimDuration delay) {
+  if (resilver_tick_armed_) {
+    return;
+  }
+  resilver_tick_armed_ = true;
+  engine_->Schedule(delay, [this] {
+    resilver_tick_armed_ = false;
+    ResilverTick();
+  });
+}
+
+void Reclaimer::ResilverTick() {
+  if (resilver_q_.empty()) {
+    return;
+  }
+  if (mm_->BelowLowWatermark()) {
+    // Demand fetches are fighting for frames; back off hard. Re-silvering is
+    // repair bandwidth, never allocation pressure.
+    ArmResilverTick(4 * ResilverIntervalNs());
+    return;
+  }
+  const ResilverWork work = resilver_q_.front();
+  resilver_q_.pop_front();
+  StartResilverWork(work);
+  if (!resilver_q_.empty()) {
+    ArmResilverTick(ResilverIntervalNs());
+  }
+}
+
+void Reclaimer::StartResilverWork(const ResilverWork& work) {
+  const auto postpone = [this, &work] {
+    resilver_q_.push_back(work);
+    ArmResilverTick(ResilverIntervalNs());
+  };
+  if (placement_->InSync(work.vpage, work.target)) {
+    // Healed meanwhile by a demand write-back; nothing to copy.
+    FinishResilverPage(work.target);
+    return;
+  }
+  if (health_ != nullptr && health_->IsDead(work.target)) {
+    // The node relapsed mid-pass; drain the work item. A later recovery
+    // starts a fresh pass that re-collects this page.
+    FinishResilverPage(work.target);
+    return;
+  }
+  switch (mm_->StateOf(work.vpage)) {
+    case PageState::kPresent: {
+      // The current bytes are resident: WRITE them straight to the target.
+      // Pinned so eviction cannot pull the frame out from under the DMA.
+      mm_->Pin(work.vpage);
+      ResilverOp op;
+      op.vpage = work.vpage;
+      op.target = work.target;
+      op.src = work.target;  // Unused on the resident path.
+      op.attempts = work.attempts;
+      op.pinned = true;
+      PostResilverWrite(std::move(op));
+      return;
+    }
+    case PageState::kFetching:
+      // In demand flight; the mapped copy will be present (or remote again)
+      // shortly. Revisit.
+      postpone();
+      return;
+    case PageState::kRemote: {
+      // Stage the copy through a bounce frame: READ from a surviving in-sync
+      // replica, then WRITE to the target.
+      constexpr uint32_t kNone = ~0u;
+      uint32_t src = kNone;
+      for (uint32_t slot = 0; slot < placement_->replicas(); ++slot) {
+        const uint32_t node = placement_->ReplicaNode(work.vpage, slot);
+        if (node == work.target || !placement_->InSync(work.vpage, node)) {
+          continue;
+        }
+        if (health_ != nullptr && health_->IsDead(node)) {
+          continue;
+        }
+        src = node;
+        break;
+      }
+      if (src == kNone) {
+        // No live in-sync source: the page cannot be repaired this pass.
+        ++resilver_failures_;
+        FinishResilverPage(work.target);
+        return;
+      }
+      const uint64_t wr_id = ResilverId(work.vpage, src);
+      if (resilver_ops_.find(wr_id) != resilver_ops_.end()) {
+        postpone();  // Another copy of this page is mid-flight via this src.
+        return;
+      }
+      if (!mm_->TryReserveBounceFrame()) {
+        postpone();  // No free frame; demand traffic wins.
+        return;
+      }
+      if (!qp_->PostRead(mm_->page_bytes(), wr_id, src)) {
+        mm_->ReleaseBounceFrame();
+        postpone();
+        return;
+      }
+      ++resilver_frames_;
+      ResilverOp op;
+      op.vpage = work.vpage;
+      op.target = work.target;
+      op.src = src;
+      op.attempts = work.attempts;
+      op.has_frame = true;
+      op.deadline = engine_->ScheduleCancellable(
+          ResilverTimeoutNs(), [this, wr_id] { OnResilverDeadline(wr_id); });
+      resilver_ops_[wr_id] = std::move(op);
+      return;
+    }
+  }
+}
+
+void Reclaimer::PostResilverWrite(ResilverOp op) {
+  const uint64_t wr_id = ResilverId(op.vpage, op.target);
+  if (resilver_ops_.find(wr_id) != resilver_ops_.end() ||
+      !qp_->PostWrite(mm_->page_bytes(), wr_id, op.target)) {
+    // wr_id busy (duplicate work item) or QP full; retry shortly. Resources
+    // (pin / bounce frame) stay held by the carried op.
+    engine_->Schedule(1000, [this, op] { PostResilverWrite(op); });
+    return;
+  }
+  op.write_stage = true;
+  op.deadline = engine_->ScheduleCancellable(
+      ResilverTimeoutNs(), [this, wr_id] { OnResilverDeadline(wr_id); });
+  resilver_ops_[wr_id] = std::move(op);
+}
+
+void Reclaimer::OnResilverCompletion(const Completion& c) {
+  auto it = resilver_ops_.find(c.wr_id);
+  if (it == resilver_ops_.end()) {
+    return;  // Late completion of an op that timed out and was abandoned.
+  }
+  ResilverOp op = std::move(it->second);
+  op.deadline.Cancel();
+  resilver_ops_.erase(it);
+  if (!c.ok()) {
+    if (health_ != nullptr) {
+      health_->ReportError(c.node);
+    }
+    AbandonOrRequeueResilver(std::move(op));
+    return;
+  }
+  if (health_ != nullptr) {
+    health_->ReportSuccess(c.node);
+  }
+  if (!op.write_stage) {
+    // READ landed in the bounce frame; push it to the recovering node.
+    PostResilverWrite(std::move(op));
+    return;
+  }
+  // WRITE landed: the replica is current again.
+  ReleaseResilverResources(op);
+  placement_->MarkInSync(op.vpage, op.target);
+  ++pages_resilvered_;
+  FinishResilverPage(op.target);
+}
+
+void Reclaimer::OnResilverDeadline(uint64_t wr_id) {
+  auto it = resilver_ops_.find(wr_id);
+  if (it == resilver_ops_.end()) {
+    return;
+  }
+  ResilverOp op = std::move(it->second);
+  resilver_ops_.erase(it);
+  if (health_ != nullptr) {
+    health_->ReportTimeout(op.write_stage ? op.target : op.src);
+  }
+  AbandonOrRequeueResilver(std::move(op));
+}
+
+void Reclaimer::AbandonOrRequeueResilver(ResilverOp op) {
+  ReleaseResilverResources(op);
+  if (op.attempts + 1 >= options_.resilver_max_attempts) {
+    // Attempt budget spent; the replica stays divergent. A later recovery
+    // pass (or a demand write-back) gets another chance.
+    ++resilver_failures_;
+    FinishResilverPage(op.target);
+    return;
+  }
+  resilver_q_.push_back(ResilverWork{op.vpage, op.target, op.attempts + 1});
+  ArmResilverTick(ResilverIntervalNs());
+}
+
+void Reclaimer::ReleaseResilverResources(ResilverOp& op) {
+  if (op.pinned) {
+    mm_->Unpin(op.vpage);
+    op.pinned = false;
+  }
+  if (op.has_frame) {
+    ADIOS_DCHECK(resilver_frames_ > 0);
+    --resilver_frames_;
+    mm_->ReleaseBounceFrame();
+    op.has_frame = false;
+  }
+}
+
+void Reclaimer::FinishResilverPage(uint32_t target) {
+  auto it = resilver_pending_.find(target);
+  ADIOS_DCHECK(it != resilver_pending_.end() && it->second > 0);
+  if (it == resilver_pending_.end() || it->second == 0) {
+    return;
+  }
+  if (--it->second == 0) {
+    resilver_pending_.erase(it);
+    if (health_ != nullptr) {
+      // Ignored unless the node is still kResilvering (it may have relapsed
+      // to kDead mid-pass; the next recovery re-collects).
+      health_->NotifyResilverDone(target);
     }
   }
 }

@@ -41,27 +41,30 @@ class RemoteRegion {
   size_t size() const { return data_.size(); }
   uint64_t num_pages() const { return data_.size() >> kPageShift; }
 
+  // Bounds are hard CHECKs (with operand printing), not DCHECKs: a bad
+  // RemoteAddr in a release build must abort, not silently overrun the
+  // backing array and corrupt unrelated app state.
   template <typename T>
   void WriteObject(RemoteAddr addr, const T& value) {
-    ADIOS_DCHECK(addr + sizeof(T) <= size());
+    ADIOS_CHECK_LE(addr + sizeof(T), size());
     std::memcpy(data_.data() + addr, &value, sizeof(T));
   }
 
   template <typename T>
   T ReadObject(RemoteAddr addr) const {
-    ADIOS_DCHECK(addr + sizeof(T) <= size());
+    ADIOS_CHECK_LE(addr + sizeof(T), size());
     T value;
     std::memcpy(&value, data_.data() + addr, sizeof(T));
     return value;
   }
 
   void WriteBytes(RemoteAddr addr, const void* src, size_t len) {
-    ADIOS_DCHECK(addr + len <= size());
+    ADIOS_CHECK_LE(addr + len, size());
     std::memcpy(data_.data() + addr, src, len);
   }
 
   void ReadBytes(RemoteAddr addr, void* dst, size_t len) const {
-    ADIOS_DCHECK(addr + len <= size());
+    ADIOS_CHECK_LE(addr + len, size());
     std::memcpy(dst, data_.data() + addr, len);
   }
 
@@ -93,6 +96,102 @@ class RemoteHeap {
  private:
   RemoteRegion* region_;
   RemoteAddr next_ = 0;
+};
+
+// Deterministic page -> replica-set placement for a replicated fabric, plus
+// per-replica sync state. Replica slot k of vpage lives on node
+// (vpage + k) % num_nodes — slot 0 is the primary — so placement needs no
+// stored table, survives restarts identically, and spreads primaries evenly.
+//
+// Sync tracking: each placed replica is in-sync or out-of-sync (a bit per
+// slot). A replica diverges when a dirty write-back to it is skipped (node
+// dead) or exhausts its retries; it re-syncs when a later write-back or a
+// re-silver copy lands. Readers must only fetch from in-sync replicas.
+// Data is never forked: RemoteRegion stays the single ground-truth byte
+// array (replication affects timing and availability, not contents), so
+// "divergence" is purely the accounting the re-silver pass works off.
+class PlacementMap {
+ public:
+  PlacementMap(uint64_t num_pages, uint32_t num_nodes, uint32_t replicas)
+      : num_nodes_(num_nodes), replicas_(replicas) {
+    ADIOS_CHECK(num_nodes >= 1);
+    ADIOS_CHECK_LE(1u, replicas);
+    ADIOS_CHECK_LE(replicas, num_nodes);
+    ADIOS_CHECK_LE(replicas, 8u);  // Sync state is a uint8_t bitmask.
+    in_sync_.assign(num_pages, FullMask());
+  }
+
+  uint32_t num_nodes() const { return num_nodes_; }
+  uint32_t replicas() const { return replicas_; }
+  uint64_t num_pages() const { return in_sync_.size(); }
+
+  uint32_t ReplicaNode(uint64_t vpage, uint32_t slot) const {
+    ADIOS_DCHECK(slot < replicas_);
+    return static_cast<uint32_t>((vpage + slot) % num_nodes_);
+  }
+  uint32_t Primary(uint64_t vpage) const { return ReplicaNode(vpage, 0); }
+
+  // Slot index of `node` in vpage's replica set, or -1 if it hosts no copy.
+  int SlotOf(uint64_t vpage, uint32_t node) const {
+    const uint32_t slot =
+        static_cast<uint32_t>((node + num_nodes_ - (vpage % num_nodes_)) % num_nodes_);
+    return slot < replicas_ ? static_cast<int>(slot) : -1;
+  }
+
+  bool InSync(uint64_t vpage, uint32_t node) const {
+    const int slot = SlotOf(vpage, node);
+    return slot >= 0 && (in_sync_[vpage] & (1u << slot)) != 0;
+  }
+
+  void MarkOutOfSync(uint64_t vpage, uint32_t node) {
+    const int slot = SlotOf(vpage, node);
+    if (slot < 0 || (in_sync_[vpage] & (1u << slot)) == 0) {
+      return;
+    }
+    in_sync_[vpage] = static_cast<uint8_t>(in_sync_[vpage] & ~(1u << slot));
+    ++divergent_slots_;
+    ++divergence_events_;
+  }
+
+  void MarkInSync(uint64_t vpage, uint32_t node) {
+    const int slot = SlotOf(vpage, node);
+    if (slot < 0 || (in_sync_[vpage] & (1u << slot)) != 0) {
+      return;
+    }
+    in_sync_[vpage] = static_cast<uint8_t>(in_sync_[vpage] | (1u << slot));
+    ADIOS_DCHECK(divergent_slots_ > 0);
+    --divergent_slots_;
+  }
+
+  uint32_t InSyncCount(uint64_t vpage) const {
+    return static_cast<uint32_t>(__builtin_popcount(in_sync_[vpage]));
+  }
+
+  // Appends every vpage whose replica on `node` is out of sync (re-silver
+  // work list). O(num_pages) — called once per node recovery, off the fast
+  // path.
+  void CollectOutOfSync(uint32_t node, std::vector<uint64_t>* out) const {
+    for (uint64_t vpage = 0; vpage < in_sync_.size(); ++vpage) {
+      const int slot = SlotOf(vpage, node);
+      if (slot >= 0 && (in_sync_[vpage] & (1u << slot)) == 0) {
+        out->push_back(vpage);
+      }
+    }
+  }
+
+  // Currently out-of-sync replica slots across all pages.
+  uint64_t divergent_slots() const { return divergent_slots_; }
+  // Cumulative in-sync -> out-of-sync transitions.
+  uint64_t divergence_events() const { return divergence_events_; }
+
+ private:
+  uint8_t FullMask() const { return static_cast<uint8_t>((1u << replicas_) - 1); }
+
+  uint32_t num_nodes_;
+  uint32_t replicas_;
+  std::vector<uint8_t> in_sync_;
+  uint64_t divergent_slots_ = 0;
+  uint64_t divergence_events_ = 0;
 };
 
 }  // namespace adios

@@ -73,6 +73,7 @@ void LoadGenerator::OnReply(Request* req) {
     if (samples_.size() < options_.max_samples) {
       RequestSample s;
       s.op = req->op;
+      s.finish_ns = req->reply_time;
       s.e2e_ns = req->E2eNs();
       s.server_ns = req->ServerNs();
       s.queue_ns = req->QueueNs();

@@ -26,6 +26,7 @@ namespace adios {
 // (Figs. 2(b,c), 7(c)).
 struct RequestSample {
   uint32_t op = 0;
+  uint64_t finish_ns = 0;  // Simulated time the reply landed (timeline binning).
   uint64_t e2e_ns = 0;
   uint64_t server_ns = 0;  // arrive -> finish at the compute node.
   uint64_t queue_ns = 0;   // arrive -> handler start.

@@ -37,6 +37,9 @@ struct Completion {
   WorkType type = WorkType::kRead;
   SimTime completed_at = 0;
   CompletionStatus status = CompletionStatus::kSuccess;
+  // Memory node that served the one-sided WQE (always 0 for sends and on a
+  // single-node fabric). Requesters feed this to the node-health monitor.
+  uint32_t node = 0;
 
   bool ok() const { return status == CompletionStatus::kSuccess; }
 };

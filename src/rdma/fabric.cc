@@ -1,21 +1,40 @@
 #include "src/rdma/fabric.h"
 
+#include <string>
+
 namespace adios {
 
-RdmaFabric::RdmaFabric(Engine* engine, const FabricParams& params)
+namespace {
+
+FairLink::Discipline LinkDiscipline(const FabricParams& params) {
+  return params.fifo_links ? FairLink::Discipline::kFifo
+                           : FairLink::Discipline::kRoundRobin;
+}
+
+std::string NodeLinkName(const char* base, uint32_t index) {
+  // Node 0 keeps the historical bare names so single-node debug output (and
+  // anything keyed on link names) is unchanged.
+  return index == 0 ? std::string(base) : std::string(base) + std::to_string(index);
+}
+
+}  // namespace
+
+RdmaFabric::MemNode::MemNode(Engine* engine, const FabricParams& params, uint32_t index)
+    : c2m(engine, NodeLinkName("c2m", index), params.link_gbps, 0, LinkDiscipline(params)),
+      m2c(engine, NodeLinkName("m2c", index), params.link_gbps, 0, LinkDiscipline(params)) {}
+
+RdmaFabric::RdmaFabric(Engine* engine, const FabricParams& params, uint32_t num_nodes)
     : engine_(engine),
       params_(params),
       wqe_engine_(engine, "wqe-engine", /*gbps=*/0.0, params.wqe_process_ns,
-                  params.fifo_links ? FairLink::Discipline::kFifo
-                                    : FairLink::Discipline::kRoundRobin),
-      c2m_link_(engine, "c2m", params.link_gbps, 0,
-                params.fifo_links ? FairLink::Discipline::kFifo
-                                  : FairLink::Discipline::kRoundRobin),
-      m2c_link_(engine, "m2c", params.link_gbps, 0,
-                params.fifo_links ? FairLink::Discipline::kFifo
-                                  : FairLink::Discipline::kRoundRobin),
+                  LinkDiscipline(params)),
       client_tx_link_(engine, "client-tx", params.client_link_gbps),
       client_rx_link_(engine, "client-rx", params.client_link_gbps) {
+  ADIOS_CHECK(num_nodes >= 1);
+  nodes_.reserve(num_nodes);
+  for (uint32_t i = 0; i < num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<MemNode>(engine, params, i));
+  }
   client_rx_flow_ = client_rx_link_.AddFlow();
 }
 
@@ -27,33 +46,39 @@ CompletionQueue* RdmaFabric::CreateCq() {
 QueuePair* RdmaFabric::CreateQp(CompletionQueue* cq) {
   ADIOS_CHECK(cq != nullptr);
   const uint32_t id = static_cast<uint32_t>(qps_.size());
-  // The same flow id indexes this QP on every RR stage it traverses.
+  // The same flow id indexes this QP on every RR stage it traverses,
+  // including each memory node's link pair.
   const uint32_t flow = wqe_engine_.AddFlow();
-  const uint32_t f2 = c2m_link_.AddFlow();
-  const uint32_t f3 = m2c_link_.AddFlow();
+  for (auto& node : nodes_) {
+    const uint32_t f2 = node->c2m.AddFlow();
+    const uint32_t f3 = node->m2c.AddFlow();
+    ADIOS_CHECK(flow == f2 && flow == f3);
+  }
   const uint32_t f4 = client_tx_link_.AddFlow();
-  ADIOS_CHECK(flow == f2 && flow == f3 && flow == f4);
+  ADIOS_CHECK(flow == f4);
   qps_.push_back(std::make_unique<QueuePair>(this, id, flow, cq, params_.qp_depth));
   return qps_.back().get();
 }
 
-bool QueuePair::PostRead(uint64_t bytes, uint64_t wr_id) {
+bool QueuePair::PostRead(uint64_t bytes, uint64_t wr_id, uint32_t node) {
   if (full()) {
     return false;
   }
+  ADIOS_DCHECK(node < fabric_->num_nodes());
   ++outstanding_;
   ++posted_reads_;
-  fabric_->IssueRead(this, bytes, wr_id);
+  fabric_->IssueRead(this, bytes, wr_id, node);
   return true;
 }
 
-bool QueuePair::PostWrite(uint64_t bytes, uint64_t wr_id) {
+bool QueuePair::PostWrite(uint64_t bytes, uint64_t wr_id, uint32_t node) {
   if (full()) {
     return false;
   }
+  ADIOS_DCHECK(node < fabric_->num_nodes());
   ++outstanding_;
   ++posted_writes_;
-  fabric_->IssueWrite(this, bytes, wr_id);
+  fabric_->IssueWrite(this, bytes, wr_id, node);
   return true;
 }
 
@@ -67,59 +92,70 @@ bool QueuePair::PostSend(uint64_t bytes, uint64_t wr_id, std::function<void()> o
   return true;
 }
 
-void QueuePair::Complete(uint64_t wr_id, WorkType type, CompletionStatus status) {
+void QueuePair::Complete(uint64_t wr_id, WorkType type, CompletionStatus status,
+                         uint32_t node) {
   ADIOS_DCHECK(outstanding_ > 0);
   --outstanding_;
   ++completions_;
-  cq_->Push(Completion{wr_id, id_, type, fabric_->engine()->now(), status});
+  cq_->Push(Completion{wr_id, id_, type, fabric_->engine()->now(), status, node});
 }
 
-void RdmaFabric::IssueRead(QueuePair* qp, uint64_t bytes, uint64_t wr_id) {
-  if (injector_ != nullptr) {  // The only injection cost on the ideal path.
-    IssueReadFaulty(qp, bytes, wr_id);
+void RdmaFabric::IssueRead(QueuePair* qp, uint64_t bytes, uint64_t wr_id, uint32_t node) {
+  MemNode& mn = *nodes_[node];
+  if (mn.injector != nullptr) {  // The only injection cost on the ideal path.
+    IssueReadFaulty(qp, bytes, wr_id, node);
     return;
   }
   const uint32_t flow = qp->flow_id();
   const uint64_t hdr = params_.header_bytes;
-  wqe_engine_.Enqueue(flow, 0, [this, qp, flow, bytes, hdr, wr_id] {
-    c2m_link_.Enqueue(flow, hdr, [this, qp, flow, bytes, hdr, wr_id] {
+  wqe_engine_.Enqueue(flow, 0, [this, qp, flow, bytes, hdr, wr_id, node] {
+    nodes_[node]->c2m.Enqueue(flow, hdr, [this, qp, flow, bytes, hdr, wr_id, node] {
       engine_->Schedule(params_.wire_latency_ns + params_.remote_dma_ns,
-                        [this, qp, flow, bytes, hdr, wr_id] {
-                          m2c_link_.Enqueue(flow, bytes + hdr, [this, qp, wr_id] {
+                        [this, qp, flow, bytes, hdr, wr_id, node] {
+                          nodes_[node]->m2c.Enqueue(flow, bytes + hdr, [this, qp, wr_id, node] {
                             engine_->Schedule(
                                 params_.wire_latency_ns + params_.cqe_deliver_ns,
-                                [qp, wr_id] { qp->Complete(wr_id, WorkType::kRead); });
+                                [qp, wr_id, node] {
+                                  qp->Complete(wr_id, WorkType::kRead,
+                                               CompletionStatus::kSuccess, node);
+                                });
                           });
                         });
     });
   });
 }
 
-void RdmaFabric::IssueWrite(QueuePair* qp, uint64_t bytes, uint64_t wr_id) {
-  if (injector_ != nullptr) {
-    IssueWriteFaulty(qp, bytes, wr_id);
+void RdmaFabric::IssueWrite(QueuePair* qp, uint64_t bytes, uint64_t wr_id, uint32_t node) {
+  MemNode& mn = *nodes_[node];
+  if (mn.injector != nullptr) {
+    IssueWriteFaulty(qp, bytes, wr_id, node);
     return;
   }
   const uint32_t flow = qp->flow_id();
   const uint64_t hdr = params_.header_bytes;
-  wqe_engine_.Enqueue(flow, 0, [this, qp, flow, bytes, hdr, wr_id] {
+  wqe_engine_.Enqueue(flow, 0, [this, qp, flow, bytes, hdr, wr_id, node] {
     // WRITE payload travels compute -> memory node.
-    c2m_link_.Enqueue(flow, bytes + hdr, [this, qp, flow, hdr, wr_id] {
+    nodes_[node]->c2m.Enqueue(flow, bytes + hdr, [this, qp, flow, hdr, wr_id, node] {
       engine_->Schedule(params_.wire_latency_ns + params_.remote_dma_ns,
-                        [this, qp, flow, hdr, wr_id] {
+                        [this, qp, flow, hdr, wr_id, node] {
                           // Small ack back to the requester.
-                          m2c_link_.Enqueue(flow, hdr, [this, qp, wr_id] {
+                          nodes_[node]->m2c.Enqueue(flow, hdr, [this, qp, wr_id, node] {
                             engine_->Schedule(
                                 params_.wire_latency_ns + params_.cqe_deliver_ns,
-                                [qp, wr_id] { qp->Complete(wr_id, WorkType::kWrite); });
+                                [qp, wr_id, node] {
+                                  qp->Complete(wr_id, WorkType::kWrite,
+                                               CompletionStatus::kSuccess, node);
+                                });
                           });
                         });
     });
   });
 }
 
-void RdmaFabric::IssueReadFaulty(QueuePair* qp, uint64_t bytes, uint64_t wr_id) {
-  const FaultInjector::Verdict v = injector_->Classify(WorkType::kRead, engine_->now());
+void RdmaFabric::IssueReadFaulty(QueuePair* qp, uint64_t bytes, uint64_t wr_id,
+                                 uint32_t node) {
+  FaultInjector* injector = nodes_[node]->injector;
+  const FaultInjector::Verdict v = injector->Classify(WorkType::kRead, engine_->now());
   const uint32_t flow = qp->flow_id();
   const uint64_t hdr = params_.header_bytes;
   switch (v.action) {
@@ -128,21 +164,21 @@ void RdmaFabric::IssueReadFaulty(QueuePair* qp, uint64_t bytes, uint64_t wr_id) 
       // happens on the wire or at a dead memory node); no response ever
       // comes. The transport layer gives up drop_detect_ns after the post
       // and flushes the WQE as a completion-with-error.
-      wqe_engine_.Enqueue(flow, 0, [this, flow, hdr] {
-        c2m_link_.Enqueue(flow, hdr, [] {});
+      wqe_engine_.Enqueue(flow, 0, [this, flow, hdr, node] {
+        nodes_[node]->c2m.Enqueue(flow, hdr, [] {});
       });
-      engine_->Schedule(injector_->options().drop_detect_ns, [qp, wr_id] {
-        qp->Complete(wr_id, WorkType::kRead, CompletionStatus::kRetryExceeded);
+      engine_->Schedule(injector->options().drop_detect_ns, [qp, wr_id, node] {
+        qp->Complete(wr_id, WorkType::kRead, CompletionStatus::kRetryExceeded, node);
       });
       return;
     }
     case FaultInjector::Action::kNack: {
       // The memory node answers receiver-not-ready: no DMA, no payload, just
       // a NAK surfacing one short RTT after the request serialized.
-      wqe_engine_.Enqueue(flow, 0, [this, qp, flow, hdr, wr_id] {
-        c2m_link_.Enqueue(flow, hdr, [this, qp, wr_id] {
-          engine_->Schedule(injector_->options().nack_rtt_ns, [qp, wr_id] {
-            qp->Complete(wr_id, WorkType::kRead, CompletionStatus::kRnrNak);
+      wqe_engine_.Enqueue(flow, 0, [this, qp, flow, hdr, wr_id, node, injector] {
+        nodes_[node]->c2m.Enqueue(flow, hdr, [this, qp, wr_id, node, injector] {
+          engine_->Schedule(injector->options().nack_rtt_ns, [qp, wr_id, node] {
+            qp->Complete(wr_id, WorkType::kRead, CompletionStatus::kRnrNak, node);
           });
         });
       });
@@ -156,27 +192,33 @@ void RdmaFabric::IssueReadFaulty(QueuePair* qp, uint64_t bytes, uint64_t wr_id) 
   const SimDuration spike = v.action == FaultInjector::Action::kDelay ? v.extra_ns : 0;
   const SimDuration dup_lag =
       v.action == FaultInjector::Action::kDuplicate ? v.extra_ns : 0;
-  wqe_engine_.Enqueue(flow, 0, [this, qp, flow, bytes, hdr, wr_id, spike, dup_lag] {
-    c2m_link_.Enqueue(flow, hdr, [this, qp, flow, bytes, hdr, wr_id, spike, dup_lag] {
+  wqe_engine_.Enqueue(flow, 0, [this, qp, flow, bytes, hdr, wr_id, spike, dup_lag, node,
+                                injector] {
+    nodes_[node]->c2m.Enqueue(flow, hdr, [this, qp, flow, bytes, hdr, wr_id, spike,
+                                          dup_lag, node, injector] {
       // Brownout: the DMA engine is rate-limited while the window is open.
       const SimDuration dma =
-          params_.remote_dma_ns + injector_->DmaPenaltyNs(engine_->now(), params_.remote_dma_ns);
+          params_.remote_dma_ns + injector->DmaPenaltyNs(engine_->now(), params_.remote_dma_ns);
       engine_->Schedule(params_.wire_latency_ns + dma + spike,
-                        [this, qp, flow, bytes, hdr, wr_id, dup_lag] {
-                          m2c_link_.Enqueue(flow, bytes + hdr, [this, qp, wr_id, dup_lag] {
+                        [this, qp, flow, bytes, hdr, wr_id, dup_lag, node] {
+                          nodes_[node]->m2c.Enqueue(flow, bytes + hdr, [this, qp, wr_id,
+                                                                       dup_lag, node] {
                             engine_->Schedule(
                                 params_.wire_latency_ns + params_.cqe_deliver_ns,
-                                [this, qp, wr_id, dup_lag] {
-                                  qp->Complete(wr_id, WorkType::kRead);
+                                [this, qp, wr_id, dup_lag, node] {
+                                  qp->Complete(wr_id, WorkType::kRead,
+                                               CompletionStatus::kSuccess, node);
                                   if (dup_lag > 0) {
                                     // Retransmit race: the same response lands
                                     // twice. The duplicate bypasses the
                                     // outstanding counter (the WQE already
                                     // retired) — requesters must deduplicate.
-                                    engine_->Schedule(dup_lag, [this, qp, wr_id] {
+                                    engine_->Schedule(dup_lag, [this, qp, wr_id, node] {
                                       qp->cq()->Push(Completion{wr_id, qp->id(),
                                                                 WorkType::kRead,
-                                                                engine_->now()});
+                                                                engine_->now(),
+                                                                CompletionStatus::kSuccess,
+                                                                node});
                                     });
                                   }
                                 });
@@ -186,26 +228,28 @@ void RdmaFabric::IssueReadFaulty(QueuePair* qp, uint64_t bytes, uint64_t wr_id) 
   });
 }
 
-void RdmaFabric::IssueWriteFaulty(QueuePair* qp, uint64_t bytes, uint64_t wr_id) {
-  const FaultInjector::Verdict v = injector_->Classify(WorkType::kWrite, engine_->now());
+void RdmaFabric::IssueWriteFaulty(QueuePair* qp, uint64_t bytes, uint64_t wr_id,
+                                  uint32_t node) {
+  FaultInjector* injector = nodes_[node]->injector;
+  const FaultInjector::Verdict v = injector->Classify(WorkType::kWrite, engine_->now());
   const uint32_t flow = qp->flow_id();
   const uint64_t hdr = params_.header_bytes;
   switch (v.action) {
     case FaultInjector::Action::kDrop: {
       // Payload burned c2m bandwidth, then was lost (or the ack was).
-      wqe_engine_.Enqueue(flow, 0, [this, flow, bytes, hdr] {
-        c2m_link_.Enqueue(flow, bytes + hdr, [] {});
+      wqe_engine_.Enqueue(flow, 0, [this, flow, bytes, hdr, node] {
+        nodes_[node]->c2m.Enqueue(flow, bytes + hdr, [] {});
       });
-      engine_->Schedule(injector_->options().drop_detect_ns, [qp, wr_id] {
-        qp->Complete(wr_id, WorkType::kWrite, CompletionStatus::kRetryExceeded);
+      engine_->Schedule(injector->options().drop_detect_ns, [qp, wr_id, node] {
+        qp->Complete(wr_id, WorkType::kWrite, CompletionStatus::kRetryExceeded, node);
       });
       return;
     }
     case FaultInjector::Action::kNack: {
-      wqe_engine_.Enqueue(flow, 0, [this, qp, flow, bytes, hdr, wr_id] {
-        c2m_link_.Enqueue(flow, bytes + hdr, [this, qp, wr_id] {
-          engine_->Schedule(injector_->options().nack_rtt_ns, [qp, wr_id] {
-            qp->Complete(wr_id, WorkType::kWrite, CompletionStatus::kRnrNak);
+      wqe_engine_.Enqueue(flow, 0, [this, qp, flow, bytes, hdr, wr_id, node, injector] {
+        nodes_[node]->c2m.Enqueue(flow, bytes + hdr, [this, qp, wr_id, node, injector] {
+          engine_->Schedule(injector->options().nack_rtt_ns, [qp, wr_id, node] {
+            qp->Complete(wr_id, WorkType::kWrite, CompletionStatus::kRnrNak, node);
           });
         });
       });
@@ -217,16 +261,20 @@ void RdmaFabric::IssueWriteFaulty(QueuePair* qp, uint64_t bytes, uint64_t wr_id)
       break;
   }
   const SimDuration spike = v.action == FaultInjector::Action::kDelay ? v.extra_ns : 0;
-  wqe_engine_.Enqueue(flow, 0, [this, qp, flow, bytes, hdr, wr_id, spike] {
-    c2m_link_.Enqueue(flow, bytes + hdr, [this, qp, flow, hdr, wr_id, spike] {
+  wqe_engine_.Enqueue(flow, 0, [this, qp, flow, bytes, hdr, wr_id, spike, node, injector] {
+    nodes_[node]->c2m.Enqueue(flow, bytes + hdr, [this, qp, flow, hdr, wr_id, spike, node,
+                                                  injector] {
       const SimDuration dma =
-          params_.remote_dma_ns + injector_->DmaPenaltyNs(engine_->now(), params_.remote_dma_ns);
+          params_.remote_dma_ns + injector->DmaPenaltyNs(engine_->now(), params_.remote_dma_ns);
       engine_->Schedule(params_.wire_latency_ns + dma + spike,
-                        [this, qp, flow, hdr, wr_id] {
-                          m2c_link_.Enqueue(flow, hdr, [this, qp, wr_id] {
+                        [this, qp, flow, hdr, wr_id, node] {
+                          nodes_[node]->m2c.Enqueue(flow, hdr, [this, qp, wr_id, node] {
                             engine_->Schedule(
                                 params_.wire_latency_ns + params_.cqe_deliver_ns,
-                                [qp, wr_id] { qp->Complete(wr_id, WorkType::kWrite); });
+                                [qp, wr_id, node] {
+                                  qp->Complete(wr_id, WorkType::kWrite,
+                                               CompletionStatus::kSuccess, node);
+                                });
                           });
                         });
     });
@@ -266,16 +314,25 @@ void RdmaFabric::ClientInject(uint64_t bytes, std::function<void()> deliver) {
 }
 
 void RdmaFabric::MarkUtilizationWindow() {
-  c2m_link_.MarkWindow();
-  m2c_link_.MarkWindow();
+  for (auto& node : nodes_) {
+    node->c2m.MarkWindow();
+    node->m2c.MarkWindow();
+  }
   client_tx_link_.MarkWindow();
   client_rx_link_.MarkWindow();
 }
 
 double RdmaFabric::RdmaUtilization() const {
-  // Fetches dominate; report the busier direction.
-  const double up = c2m_link_.WindowUtilization();
-  const double down = m2c_link_.WindowUtilization();
+  // Fetches dominate; report the busier direction, averaged over nodes so
+  // the figure stays "fraction of per-link capacity" regardless of N.
+  double up = 0.0;
+  double down = 0.0;
+  for (const auto& node : nodes_) {
+    up += node->c2m.WindowUtilization();
+    down += node->m2c.WindowUtilization();
+  }
+  up /= static_cast<double>(nodes_.size());
+  down /= static_cast<double>(nodes_.size());
   return up > down ? up : down;
 }
 

@@ -1,19 +1,22 @@
-// The simulated RDMA fabric: compute-node NIC, memory-node NIC, and the
-// 100 GbE links between compute node, memory node, and load generator.
+// The simulated RDMA fabric: compute-node NIC, N memory-node NICs, and the
+// 100 GbE links between compute node, memory nodes, and load generator.
 //
-// Pipeline for a one-sided READ (page fetch) posted on QP q:
+// Pipeline for a one-sided READ (page fetch) posted on QP q toward node n:
 //
 //   post -> [WQE engine: RR over QPs, fixed cost]       (compute NIC)
-//        -> [c2m link: request header serialization]
+//        -> [node n c2m link: request header serialization]
 //        -> wire latency + memory-node DMA read
-//        -> [m2c link: RR over QPs, payload serialization]   <- the contended hop
+//        -> [node n m2c link: RR over QPs, payload serialization]   <- the contended hop
 //        -> wire latency + CQE delivery
 //        -> completion appended to q's CQ
 //
-// WRITEs (page write-back) carry their payload on the c2m link and get a
-// small ack back. Raw-Ethernet sends to the load generator use the client
-// link; their transmit completions are steered to a selectable CQ, which is
-// the mechanism behind polling delegation.
+// Every memory node owns its own link pair, DMA engine timing, and (optional)
+// fault injector, so a blackout or brownout on one node leaves the others
+// ideal. The WQE engine and the client-facing links model the *compute* NIC
+// and stay shared. WRITEs (page write-back) carry their payload on the c2m
+// link and get a small ack back. Raw-Ethernet sends to the load generator use
+// the client link; their transmit completions are steered to a selectable CQ,
+// which is the mechanism behind polling delegation.
 
 #ifndef ADIOS_SRC_RDMA_FABRIC_H_
 #define ADIOS_SRC_RDMA_FABRIC_H_
@@ -47,12 +50,12 @@ class QueuePair {
   uint32_t id() const { return id_; }
   uint32_t flow_id() const { return flow_id_; }
 
-  // One-sided READ of `bytes` from the memory node. Returns false when the
-  // send queue is full (depth_ WQEs already outstanding).
-  bool PostRead(uint64_t bytes, uint64_t wr_id);
+  // One-sided READ of `bytes` from memory node `node`. Returns false when
+  // the send queue is full (depth_ WQEs already outstanding).
+  bool PostRead(uint64_t bytes, uint64_t wr_id, uint32_t node = 0);
 
-  // One-sided WRITE of `bytes` to the memory node (page write-back).
-  bool PostWrite(uint64_t bytes, uint64_t wr_id);
+  // One-sided WRITE of `bytes` to memory node `node` (page write-back).
+  bool PostWrite(uint64_t bytes, uint64_t wr_id, uint32_t node = 0);
 
   // Raw-Ethernet transmit of `bytes` to the load generator. `on_wire_done`
   // (optional) fires when the last bit leaves the NIC — the load-generator
@@ -80,7 +83,8 @@ class QueuePair {
   friend class RdmaFabric;
 
   void Complete(uint64_t wr_id, WorkType type,
-                CompletionStatus status = CompletionStatus::kSuccess);
+                CompletionStatus status = CompletionStatus::kSuccess,
+                uint32_t node = 0);
 
   RdmaFabric* fabric_;
   uint32_t id_;
@@ -96,16 +100,18 @@ class QueuePair {
 
 class RdmaFabric {
  public:
-  RdmaFabric(Engine* engine, const FabricParams& params);
+  RdmaFabric(Engine* engine, const FabricParams& params, uint32_t num_nodes = 1);
 
   RdmaFabric(const RdmaFabric&) = delete;
   RdmaFabric& operator=(const RdmaFabric&) = delete;
 
   Engine* engine() { return engine_; }
   const FabricParams& params() const { return params_; }
+  uint32_t num_nodes() const { return static_cast<uint32_t>(nodes_.size()); }
 
   CompletionQueue* CreateCq();
-  // Creates a QP whose completions go to `cq`.
+  // Creates a QP whose completions go to `cq`. The QP can reach every memory
+  // node (one flow per per-node link, same flow id everywhere).
   QueuePair* CreateQp(CompletionQueue* cq);
 
   // Injects a request packet from the load generator toward the compute
@@ -115,14 +121,16 @@ class RdmaFabric {
 
   // The fetch-direction (memory node -> compute) RDMA link; its utilization
   // is what the paper plots in Figs. 2(e)/7(e).
-  FairLink& rdma_response_link() { return m2c_link_; }
-  FairLink& rdma_request_link() { return c2m_link_; }
+  FairLink& rdma_response_link(uint32_t node = 0) { return nodes_[node]->m2c; }
+  FairLink& rdma_request_link(uint32_t node = 0) { return nodes_[node]->c2m; }
   FairLink& client_tx_link() { return client_tx_link_; }
   FairLink& client_rx_link() { return client_rx_link_; }
 
   void MarkUtilizationWindow();
-  // Combined RDMA traffic (both directions) relative to one link's capacity;
-  // fetch-dominated workloads make this ~= response-link utilization.
+  // Combined RDMA traffic (both directions) relative to aggregate link
+  // capacity; fetch-dominated workloads make this ~= response-link
+  // utilization. With several nodes this is the mean over nodes of the
+  // busier direction, so a 1-node fabric reports exactly what it used to.
   double RdmaUtilization() const;
 
   // Total outstanding one-sided operations across all QPs.
@@ -131,31 +139,44 @@ class RdmaFabric {
   uint64_t TotalPosted() const;
   uint64_t TotalCompletions() const;
 
-  // Installs (or clears) a fault injector. Null = the ideal fabric; the
-  // datapath then pays exactly one branch per WQE and is bit-identical to a
-  // build without the injection layer. One-sided READs/WRITEs consult the
-  // injector; the client-facing Raw-Ethernet links stay ideal (the paper's
-  // fault surface is the memory-node fabric).
-  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
-  FaultInjector* fault_injector() { return injector_; }
+  // Installs (or clears) a fault injector on memory node `node`. Null = the
+  // ideal fabric; the datapath then pays exactly one branch per WQE and is
+  // bit-identical to a build without the injection layer. One-sided
+  // READs/WRITEs consult the target node's injector; the client-facing
+  // Raw-Ethernet links stay ideal (the paper's fault surface is the
+  // memory-node fabric).
+  void set_node_fault_injector(uint32_t node, FaultInjector* injector) {
+    nodes_[node]->injector = injector;
+  }
+  // Back-compat single-node aliases (node 0).
+  void set_fault_injector(FaultInjector* injector) { set_node_fault_injector(0, injector); }
+  FaultInjector* fault_injector(uint32_t node = 0) { return nodes_[node]->injector; }
 
  private:
   friend class QueuePair;
 
-  void IssueRead(QueuePair* qp, uint64_t bytes, uint64_t wr_id);
-  void IssueWrite(QueuePair* qp, uint64_t bytes, uint64_t wr_id);
+  // One memory node: its own link pair toward/from the compute NIC and an
+  // optional fault injector. FairLink is non-copyable, so nodes live behind
+  // unique_ptrs.
+  struct MemNode {
+    MemNode(Engine* engine, const FabricParams& params, uint32_t index);
+    FairLink c2m;  // Compute -> this memory node.
+    FairLink m2c;  // This memory node -> compute (fetch payloads).
+    FaultInjector* injector = nullptr;
+  };
+
+  void IssueRead(QueuePair* qp, uint64_t bytes, uint64_t wr_id, uint32_t node);
+  void IssueWrite(QueuePair* qp, uint64_t bytes, uint64_t wr_id, uint32_t node);
   void IssueSend(QueuePair* qp, uint64_t bytes, uint64_t wr_id,
                  std::function<void()> on_delivered);
   // Injection-aware variants of the one-sided pipelines.
-  void IssueReadFaulty(QueuePair* qp, uint64_t bytes, uint64_t wr_id);
-  void IssueWriteFaulty(QueuePair* qp, uint64_t bytes, uint64_t wr_id);
+  void IssueReadFaulty(QueuePair* qp, uint64_t bytes, uint64_t wr_id, uint32_t node);
+  void IssueWriteFaulty(QueuePair* qp, uint64_t bytes, uint64_t wr_id, uint32_t node);
 
   Engine* engine_;
   FabricParams params_;
-  FaultInjector* injector_ = nullptr;
-  FairLink wqe_engine_;      // Compute-NIC requester engine.
-  FairLink c2m_link_;        // Compute -> memory node.
-  FairLink m2c_link_;        // Memory node -> compute (fetch payloads).
+  FairLink wqe_engine_;      // Compute-NIC requester engine (shared).
+  std::vector<std::unique_ptr<MemNode>> nodes_;
   FairLink client_tx_link_;  // Compute -> load generator (replies).
   FairLink client_rx_link_;  // Load generator -> compute (requests).
   uint32_t client_rx_flow_;

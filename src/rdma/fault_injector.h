@@ -72,6 +72,10 @@ class FaultInjector {
     // inside it are treated as drops. 0 duration = off.
     SimDuration blackout_start_ns = 0;
     SimDuration blackout_duration_ns = 0;
+    // Which memory node the blackout hits on a replicated fabric. The
+    // injector itself ignores this (each node owns one injector); MdSystem
+    // uses it to decide which node's injector keeps the blackout window.
+    uint32_t blackout_node = 0;
 
     uint64_t seed = 99;
 

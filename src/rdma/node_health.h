@@ -1,0 +1,150 @@
+// Per-memory-node failure detection for the replicated fabric.
+//
+// Requesters (worker fetch path, reclaimer write-back path) feed the monitor
+// completion evidence: errors and deadline timeouts raise a per-node
+// suspicion score, successes lower it, and the score decays exponentially
+// with simulated time so stale evidence cannot keep a node suspect forever.
+// The score drives a four-state machine with hysteresis:
+//
+//   kHealthy --score >= suspect_threshold--> kSuspect
+//   kSuspect --score >= dead_threshold-----> kDead
+//   kSuspect --score low + dwell-----------> kHealthy      (false alarm)
+//   kDead ----consecutive probe OKs + dwell-> kResilvering  (node came back)
+//   kResilvering --NotifyResilverDone-------> kHealthy
+//   kResilvering --score >= dead_threshold--> kDead         (relapse)
+//
+// While a node is kSuspect or kDead the monitor self-schedules probe events
+// (simulation stand-in for the keepalive ping a real fabric manager sends);
+// the probe outcome comes from an injected ProbeFn, so the monitor itself
+// stays fabric-agnostic and unit-testable. Nothing is scheduled for healthy
+// nodes: a single-node system without replication never constructs a monitor
+// and is bit-identical to a build without this file.
+
+#ifndef ADIOS_SRC_RDMA_NODE_HEALTH_H_
+#define ADIOS_SRC_RDMA_NODE_HEALTH_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/base/time.h"
+#include "src/sim/engine.h"
+
+namespace adios {
+
+// Replication knobs, carried by SystemConfig. Defaults keep the system
+// single-node (replication fully disabled, bit-identical to the legacy
+// fabric).
+struct ReplicationConfig {
+  uint32_t num_nodes = 1;  // Memory nodes in the fabric.
+  uint32_t replicas = 1;   // Copies per page (<= num_nodes, <= 8).
+
+  // Evidence scoring. One error/timeout adds 1.0; one success subtracts
+  // success_credit; the score halves every evidence_halflife_ns.
+  double suspect_threshold = 3.0;  // kHealthy -> kSuspect.
+  double dead_threshold = 8.0;     // kSuspect -> kDead.
+  // kSuspect -> kHealthy requires score <= suspect_threshold * exit_fraction
+  // (hysteresis band) *and* min_dwell_ns in state.
+  double suspect_exit_fraction = 0.5;
+  double success_credit = 0.25;
+  SimDuration evidence_halflife_ns = 100'000;
+
+  // Probing of suspect/dead nodes.
+  SimDuration probe_interval_ns = 25'000;
+  uint32_t recovery_probes = 3;  // Consecutive OK probes to leave kDead.
+  SimDuration min_dwell_ns = 50'000;
+  // Evidence weight of a failed keepalive probe. Heavier than a WQE error:
+  // once requesters fail over away from a suspect node, probes are the only
+  // evidence stream left, and they must still be able to push a genuinely
+  // dark node past dead_threshold against the decay.
+  double probe_fail_weight = 2.0;
+
+  // Re-silver pacing: background copy bandwidth cap (Gbps) and per-page
+  // attempt budget, consumed by the reclaimer's re-silver pass.
+  double resilver_bw_gbps = 10.0;
+  uint32_t resilver_max_attempts = 3;
+
+  bool enabled() const { return num_nodes > 1; }
+};
+
+enum class NodeHealth : uint8_t {
+  kHealthy = 0,
+  kSuspect = 1,
+  kDead = 2,
+  kResilvering = 3,
+};
+
+const char* NodeHealthName(NodeHealth h);
+
+class NodeHealthMonitor {
+ public:
+  // Returns true when the probe of `node` succeeded.
+  using ProbeFn = std::function<bool(uint32_t node, SimTime now)>;
+  using StateChangeFn =
+      std::function<void(uint32_t node, NodeHealth from, NodeHealth to)>;
+
+  NodeHealthMonitor(Engine* engine, const ReplicationConfig& config);
+
+  NodeHealthMonitor(const NodeHealthMonitor&) = delete;
+  NodeHealthMonitor& operator=(const NodeHealthMonitor&) = delete;
+
+  void set_probe_fn(ProbeFn fn) { probe_fn_ = std::move(fn); }
+  void set_on_state_change(StateChangeFn fn) { on_state_change_ = std::move(fn); }
+
+  NodeHealth StateOf(uint32_t node) const { return nodes_[node].health; }
+  bool SuspectOrWorse(uint32_t node) const {
+    const NodeHealth h = nodes_[node].health;
+    return h == NodeHealth::kSuspect || h == NodeHealth::kDead;
+  }
+  bool IsDead(uint32_t node) const { return nodes_[node].health == NodeHealth::kDead; }
+
+  // Completion evidence from requesters.
+  void ReportSuccess(uint32_t node);
+  void ReportError(uint32_t node);
+  void ReportTimeout(uint32_t node);
+
+  // The re-silver pass finished for `node`; kResilvering -> kHealthy.
+  // Ignored in any other state (e.g. the node relapsed to kDead mid-pass).
+  void NotifyResilverDone(uint32_t node);
+
+  // Decayed suspicion score as of `now` (exposed for tests).
+  double EvidenceScore(uint32_t node, SimTime now) const;
+
+  uint32_t num_nodes() const { return static_cast<uint32_t>(nodes_.size()); }
+  uint64_t suspect_events() const { return suspect_events_; }
+  uint64_t dead_events() const { return dead_events_; }
+  uint64_t recoveries() const { return recoveries_; }
+
+ private:
+  struct NodeState {
+    NodeHealth health = NodeHealth::kHealthy;
+    double score = 0.0;
+    SimTime score_time = 0;   // When `score` was last brought current.
+    SimTime entered_at = 0;   // When `health` was entered (dwell base).
+    uint32_t ok_probes = 0;   // Consecutive probe successes while kDead.
+    // Bumped on every state change; a probe event scheduled under an older
+    // generation is stale and ignored, so exactly one probe chain is live.
+    uint64_t generation = 0;
+  };
+
+  void Decay(NodeState& ns, SimTime now) const;
+  void AddEvidence(uint32_t node, double weight);
+  void Reassess(uint32_t node);
+  void EnterState(uint32_t node, NodeHealth to);
+  void ArmProbe(uint32_t node);
+  void OnProbe(uint32_t node, uint64_t generation);
+
+  Engine* engine_;
+  ReplicationConfig config_;
+  ProbeFn probe_fn_;
+  StateChangeFn on_state_change_;
+  std::vector<NodeState> nodes_;
+  uint64_t suspect_events_ = 0;
+  uint64_t dead_events_ = 0;
+  uint64_t recoveries_ = 0;
+};
+
+}  // namespace adios
+
+#endif  // ADIOS_SRC_RDMA_NODE_HEALTH_H_

@@ -225,11 +225,13 @@ void Worker::Access(RemoteAddr addr, uint64_t len, bool write) {
   }
 }
 
-void Worker::TrackFetch(uint64_t vpage) {
+void Worker::TrackFetch(uint64_t vpage, uint32_t node) {
   PendingFetch& pf = pending_fetch_[vpage];
   pf.attempts = 1;
   pf.req_id = running_ != nullptr ? running_->req->id : 0;
   pf.backoff_ns = cfg_.retry.backoff_base_ns;
+  pf.node = node;
+  pf.failovers = 0;
   pf.deadline = engine_->ScheduleCancellable(cfg_.retry.timeout_ns,
                                              [this, vpage] { OnFetchDeadline(vpage); });
 }
@@ -240,6 +242,9 @@ void Worker::OnFetchDeadline(uint64_t vpage) {
     return;  // Settled just before the deadline event ran.
   }
   ++fetch_timeouts_;
+  if (health_ != nullptr) {
+    health_->ReportTimeout(it->second.node);
+  }
   if (tracer_ != nullptr) {
     tracer_->Record(engine_->now(), it->second.req_id, TraceEvent::kFetchTimeout,
                     static_cast<uint32_t>(vpage));
@@ -256,7 +261,16 @@ void Worker::ScheduleRetryOrFail(uint64_t vpage) {
   if (pf.repost_pending) {
     return;  // An error completion raced with the deadline; one repost suffices.
   }
-  if (pf.attempts > cfg_.retry.max_retries) {
+  // Failover beats both giving up and pointless persistence: once the retry
+  // budget is spent — or the node serving this fetch is suspected/dead — the
+  // fetch moves to another in-sync replica with a fresh budget instead of
+  // burning backoff rounds against a black hole.
+  const bool exhausted = pf.attempts > cfg_.retry.max_retries;
+  const bool node_bad = health_ != nullptr && health_->SuspectOrWorse(pf.node);
+  if ((exhausted || node_bad) && TryFailover(vpage, pf)) {
+    return;
+  }
+  if (exhausted) {
     FailFetch(vpage);
     return;
   }
@@ -280,7 +294,7 @@ void Worker::RepostFetch(uint64_t vpage) {
     return;  // A delayed completion landed during the backoff.
   }
   ADIOS_DCHECK(mm_->StateOf(vpage) == PageState::kFetching);
-  if (!mem_qp_->PostRead(mm_->page_bytes(), vpage)) {
+  if (!mem_qp_->PostRead(mm_->page_bytes(), vpage, it->second.node)) {
     ++qp_full_stalls_;
     engine_->Schedule(1000, [this, vpage] { RepostFetch(vpage); });
     return;
@@ -296,6 +310,79 @@ void Worker::FailFetch(uint64_t vpage) {
   it->second.deadline.Cancel();
   pending_fetch_.erase(it);
   mm_->AbortFetch(vpage);
+}
+
+uint32_t Worker::ChooseReadNode(uint64_t vpage) const {
+  if (placement_ == nullptr) {
+    return 0;
+  }
+  // Replica-order scan: first in-sync copy on a healthy (or resilvering —
+  // its in-sync pages are current) node wins, so unfailed systems always
+  // read the primary. An in-sync copy on a merely-suspect node is kept as
+  // fallback; with every replica dead we still aim at the primary and let
+  // the retry pipeline surface the failure.
+  uint32_t fallback = placement_->Primary(vpage);
+  bool fallback_in_sync = false;
+  for (uint32_t slot = 0; slot < placement_->replicas(); ++slot) {
+    const uint32_t node = placement_->ReplicaNode(vpage, slot);
+    if (!placement_->InSync(vpage, node)) {
+      continue;
+    }
+    if (health_ == nullptr) {
+      return node;
+    }
+    const NodeHealth h = health_->StateOf(node);
+    if (h == NodeHealth::kHealthy || h == NodeHealth::kResilvering) {
+      return node;
+    }
+    if (h == NodeHealth::kSuspect && !fallback_in_sync) {
+      fallback = node;
+      fallback_in_sync = true;
+    }
+  }
+  return fallback;
+}
+
+bool Worker::TryFailover(uint64_t vpage, PendingFetch& pf) {
+  if (placement_ == nullptr || health_ == nullptr) {
+    return false;
+  }
+  if (pf.failovers >= placement_->replicas()) {
+    return false;  // Every replica had its chance; give up for real.
+  }
+  constexpr uint32_t kNone = ~0u;
+  uint32_t best = kNone;
+  for (uint32_t slot = 0; slot < placement_->replicas(); ++slot) {
+    const uint32_t node = placement_->ReplicaNode(vpage, slot);
+    if (node == pf.node || !placement_->InSync(vpage, node)) {
+      continue;
+    }
+    const NodeHealth h = health_->StateOf(node);
+    if (h == NodeHealth::kDead) {
+      continue;
+    }
+    if (h == NodeHealth::kHealthy || h == NodeHealth::kResilvering) {
+      best = node;
+      break;
+    }
+    if (best == kNone) {
+      best = node;  // Suspect replica: better than the one that just failed.
+    }
+  }
+  if (best == kNone) {
+    return false;
+  }
+  ++pf.failovers;
+  ++failovers_;
+  pf.node = best;
+  pf.attempts = 1;  // The new replica gets the full retry budget.
+  pf.backoff_ns = cfg_.retry.backoff_base_ns;
+  if (tracer_ != nullptr) {
+    tracer_->Record(engine_->now(), pf.req_id, TraceEvent::kFailover, best);
+  }
+  pf.repost_pending = true;
+  engine_->Schedule(0, [this, vpage] { RepostFetch(vpage); });
+  return true;
 }
 
 void Worker::AccessPage(uint64_t vpage, bool write) {
@@ -416,7 +503,8 @@ void Worker::WaitForFreeFrame() {
 
 void Worker::PostReadWithBackpressure(uint64_t vpage) {
   core_->Consume(cfg_.post_read_cycles);
-  while (!mem_qp_->PostRead(mm_->page_bytes(), vpage)) {
+  const uint32_t node = ChooseReadNode(vpage);
+  while (!mem_qp_->PostRead(mm_->page_bytes(), vpage, node)) {
     // QP send queue is full (§5.2: "page fault handlers must pause, waiting
     // for available slots in the QPs").
     ++qp_full_stalls_;
@@ -425,7 +513,7 @@ void Worker::PostReadWithBackpressure(uint64_t vpage) {
     }
   }
   if (cfg_.retry.enabled) {
-    TrackFetch(vpage);
+    TrackFetch(vpage, node);
   }
 }
 
@@ -451,12 +539,18 @@ size_t Worker::DrainMemCq() {
         if (!batch[i].ok()) {
           // Transport-level failure (retry-exceeded or RNR NAK): the WQE is
           // dead; decide software retry vs. giving up.
+          if (health_ != nullptr) {
+            health_->ReportError(batch[i].node);
+          }
           it->second.deadline.Cancel();
           ScheduleRetryOrFail(batch[i].wr_id);
           continue;
         }
         it->second.deadline.Cancel();
         pending_fetch_.erase(it);
+      }
+      if (health_ != nullptr) {
+        health_->ReportSuccess(batch[i].node);
       }
       mm_->CompleteFetch(batch[i].wr_id);
     }

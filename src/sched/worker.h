@@ -26,7 +26,9 @@
 #include "src/base/rng.h"
 #include "src/mem/memory_manager.h"
 #include "src/mem/prefetcher.h"
+#include "src/mem/remote_heap.h"
 #include "src/rdma/fabric.h"
+#include "src/rdma/node_health.h"
 #include "src/sched/config.h"
 #include "src/sched/request.h"
 #include "src/sched/worker_api.h"
@@ -104,6 +106,7 @@ class Worker final : public WorkerApi {
   uint64_t steals() const { return steals_; }
   uint64_t fetch_timeouts() const { return fetch_timeouts_; }
   uint64_t fetch_retries() const { return fetch_retries_; }
+  uint64_t failovers() const { return failovers_; }
 
   // --- WorkerApi (called by application handlers on unithreads) ---
   void Access(RemoteAddr addr, uint64_t len, bool write) override;
@@ -115,6 +118,10 @@ class Worker final : public WorkerApi {
 
   void set_region(RemoteRegion* region) { region_ = region; }
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  // Replication wiring (both null on a single-node system: the fetch path
+  // then always targets node 0 and never consults health state).
+  void set_placement(PlacementMap* placement) { placement_ = placement; }
+  void set_node_health(NodeHealthMonitor* health) { health_ = health; }
 
   // Unithread entry point (contexts are prepared by the dispatcher).
   static void UnithreadMain(void* arg);
@@ -141,11 +148,13 @@ class Worker final : public WorkerApi {
     uint64_t req_id = 0;        // Initiating request, for tracing.
     SimDuration backoff_ns = 0; // Wait before the next repost.
     bool repost_pending = false;  // A repost is scheduled; don't schedule twice.
+    uint32_t node = 0;          // Replica currently serving this fetch.
+    uint32_t failovers = 0;     // Replica switches so far (capped at replicas).
     Engine::EventHandle deadline;
   };
 
   // Creates the pending entry and arms the first deadline (post time).
-  void TrackFetch(uint64_t vpage);
+  void TrackFetch(uint64_t vpage, uint32_t node);
   // Deadline expiry: count the timeout, then retry or fail.
   void OnFetchDeadline(uint64_t vpage);
   // Retries after backoff while budget remains; otherwise fails the fetch.
@@ -155,6 +164,12 @@ class Worker final : public WorkerApi {
   void RepostFetch(uint64_t vpage);
   // Budget exhausted: abandon the fetch; waiters fail their requests.
   void FailFetch(uint64_t vpage);
+  // Best in-sync replica to fetch `vpage` from (node 0 without placement).
+  uint32_t ChooseReadNode(uint64_t vpage) const;
+  // Redirects the in-flight fetch to another in-sync replica (fresh retry
+  // budget, immediate repost). False when no eligible replica remains or the
+  // per-fetch failover cap is spent — the caller falls back to FailFetch.
+  bool TryFailover(uint64_t vpage, PendingFetch& pf);
 
   uint32_t index_;
   Engine* engine_;
@@ -169,6 +184,8 @@ class Worker final : public WorkerApi {
   Dispatcher* dispatcher_ = nullptr;
   RemoteRegion* region_ = nullptr;
   Tracer* tracer_ = nullptr;
+  PlacementMap* placement_ = nullptr;
+  NodeHealthMonitor* health_ = nullptr;
 
   // Pops a not-yet-started request from the busiest peer's queue (work
   // stealing); nullptr when no peer has queued work.
@@ -197,6 +214,7 @@ class Worker final : public WorkerApi {
   uint64_t steals_ = 0;
   uint64_t fetch_timeouts_ = 0;
   uint64_t fetch_retries_ = 0;
+  uint64_t failovers_ = 0;
 };
 
 }  // namespace adios

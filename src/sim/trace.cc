@@ -24,6 +24,14 @@ const char* TraceEventName(TraceEvent ev) {
       return "fetch-timeout";
     case TraceEvent::kRetry:
       return "retry";
+    case TraceEvent::kNodeSuspect:
+      return "node-suspect";
+    case TraceEvent::kNodeDead:
+      return "node-dead";
+    case TraceEvent::kFailover:
+      return "failover";
+    case TraceEvent::kResilverDone:
+      return "resilver-done";
   }
   return "?";
 }
@@ -62,6 +70,9 @@ void Tracer::PrintTimeline(uint64_t request_id, std::FILE* out) const {
       std::fprintf(out, " page=%u", e.arg);
     } else if (e.event == TraceEvent::kRetry) {
       std::fprintf(out, " attempt=%u", e.arg);
+    } else if (e.event == TraceEvent::kNodeSuspect || e.event == TraceEvent::kNodeDead ||
+               e.event == TraceEvent::kFailover || e.event == TraceEvent::kResilverDone) {
+      std::fprintf(out, " node=%u", e.arg);
     }
     std::fprintf(out, "\n");
     prev = e.time;

@@ -29,6 +29,12 @@ enum class TraceEvent : uint8_t {
   kDone = 7,          // Handler finished; reply posted.
   kFetchTimeout = 8,  // A page fetch missed its deadline (arg = page).
   kRetry = 9,         // The fetch was reposted after backoff (arg = attempt).
+  // Node-level fault events (replicated fabric; request_id = 0 for the
+  // health-monitor transitions, which are not tied to one request).
+  kNodeSuspect = 10,   // Health monitor: node entered kSuspect (arg = node).
+  kNodeDead = 11,      // Health monitor: node entered kDead (arg = node).
+  kFailover = 12,      // In-flight fetch redirected to a replica (arg = node).
+  kResilverDone = 13,  // Node fully re-replicated; back to kHealthy (arg = node).
 };
 
 const char* TraceEventName(TraceEvent ev);

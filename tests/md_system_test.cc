@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "src/apps/array_app.h"
+#include "src/apps/memcached_app.h"
 #include "src/apps/rocksdb_app.h"
 
 namespace adios {
@@ -184,6 +185,94 @@ TEST(MdSystem, NoWorkerWedgesUnderPacketLoss) {
   EXPECT_EQ(used, mm.page_table().resident_pages() + mm.page_table().fetching_pages() +
                       sys.reclaimer().writebacks_inflight());
   EXPECT_EQ(mm.page_table().fetching_pages(), 0u);
+}
+
+// --- Replication / failover (docs/FAILOVER.md) ---
+
+SystemConfig ReplicatedBlackoutConfig() {
+  SystemConfig cfg = SystemConfig::Adios();
+  cfg.replication.num_nodes = 2;
+  cfg.replication.replicas = 2;
+  // Node 0 goes completely dark for 1 ms in the middle of the measurement
+  // window ([4 ms warmup, 14 ms] overall).
+  cfg.fault.blackout_start_ns = Milliseconds(7);
+  cfg.fault.blackout_duration_ns = Milliseconds(1);
+  cfg.fault.blackout_node = 0;
+  return cfg;
+}
+
+TEST(MdSystem, BlackoutWithReplicaFailsOverWithZeroFailedRequests) {
+  ArrayApp app(SmallArray());
+  MdSystem sys(ReplicatedBlackoutConfig(), &app);
+  RunResult r = sys.Run(200000, Milliseconds(4), Milliseconds(10));
+  EXPECT_EQ(r.sent, r.completed + r.dropped);
+  EXPECT_GT(r.measured, 1000u);
+  // The headline property: with a live replica, a full node outage fails
+  // zero requests — every exhausted or suspect fetch fails over instead of
+  // aborting.
+  EXPECT_EQ(r.requests_failed, 0u);
+  EXPECT_GT(r.failovers, 0u);
+  EXPECT_GE(r.node_suspect_events, 1u);
+  EXPECT_GE(r.node_dead_events, 1u);
+  // The blackout ends well before the drain completes: the node must have
+  // been probed back and re-silvered by run end.
+  EXPECT_GE(r.node_recoveries, 1u);
+  EXPECT_EQ(r.replica_divergence, 0u);
+}
+
+TEST(MdSystem, BlackoutFailoverIsDeterministic) {
+  auto run = [] {
+    ArrayApp app(SmallArray());
+    MdSystem sys(ReplicatedBlackoutConfig(), &app);
+    return sys.Run(200000, Milliseconds(4), Milliseconds(10));
+  };
+  RunResult a = run();
+  RunResult b = run();
+  EXPECT_EQ(a.sent, b.sent);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.failovers, b.failovers);
+  EXPECT_EQ(a.fetch_retries, b.fetch_retries);
+  EXPECT_EQ(a.node_suspect_events, b.node_suspect_events);
+  EXPECT_EQ(a.node_dead_events, b.node_dead_events);
+  EXPECT_EQ(a.pages_resilvered, b.pages_resilvered);
+  EXPECT_EQ(a.e2e.P50(), b.e2e.P50());
+  EXPECT_EQ(a.e2e.Percentile(99.9), b.e2e.Percentile(99.9));
+}
+
+TEST(MdSystem, BlackoutDivergenceIsResilvered) {
+  // A write-heavy workload dirties pages, so write-backs to the dead node
+  // are dropped (divergence) and the re-silver pass must repair them after
+  // recovery.
+  SystemConfig cfg = ReplicatedBlackoutConfig();
+  MemcachedApp::Options mo;
+  mo.num_keys = 1 << 14;
+  mo.set_fraction = 0.4;
+  MemcachedApp app(mo);
+  MdSystem sys(cfg, &app);
+  RunResult r = sys.Run(150000, Milliseconds(4), Milliseconds(10));
+  EXPECT_EQ(r.sent, r.completed + r.dropped);
+  EXPECT_EQ(r.requests_failed, 0u);
+  EXPECT_GT(r.divergence_events, 0u);   // Replicas did diverge during the outage...
+  EXPECT_EQ(r.replica_divergence, 0u);  // ...and were all repaired by run end.
+  EXPECT_GT(r.pages_resilvered, 0u);
+  EXPECT_GE(r.node_recoveries, 1u);
+}
+
+TEST(MdSystem, SingleNodeResultsUnchangedByReplicationCode) {
+  // replication.num_nodes = 1 (the default) must be bit-identical to the
+  // pre-replication system: same arrivals, same fetch wr_ids, same event
+  // order. Faulted single-node runs still abort on retry exhaustion.
+  SystemConfig cfg = SystemConfig::Adios();
+  cfg.fault.blackout_start_ns = Milliseconds(7);
+  cfg.fault.blackout_duration_ns = Milliseconds(1);
+  ArrayApp app(SmallArray());
+  MdSystem sys(cfg, &app);
+  RunResult r = sys.Run(200000, Milliseconds(4), Milliseconds(10));
+  EXPECT_EQ(r.sent, r.completed + r.dropped);
+  EXPECT_GT(r.requests_failed, 0u);  // No replica: the outage aborts requests.
+  EXPECT_EQ(r.failovers, 0u);
+  EXPECT_EQ(r.node_suspect_events, 0u);
+  EXPECT_EQ(r.divergence_events, 0u);
 }
 
 TEST(MdSystem, RdmaUtilizationScalesWithLoad) {
