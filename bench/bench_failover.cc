@@ -143,9 +143,15 @@ void Run() {
   }
   std::printf("\n");
   summary.Print();
+  std::vector<BenchJsonRow> json;
   for (const Point& p : points) {
     WarnTraceDrops(p.result);
+    BenchJsonRow row = JsonRowOf(p.label, p.result);
+    row.extra.emplace_back("requests_failed", static_cast<double>(p.result.requests_failed));
+    row.extra.emplace_back("failovers", static_cast<double>(p.result.failovers));
+    json.push_back(std::move(row));
   }
+  WriteBenchJson("failover", json);
 
   // --- Recovery check: Adios-R2 goodput returns to >= 90% of pre-blackout ---
   const std::vector<double>& adios = lines[0];

@@ -52,6 +52,8 @@ RunResult RunPoint(const std::string& system, double load, const FaultInjector::
   return sys.Run(load, timing.warmup, timing.measure);
 }
 
+std::vector<BenchJsonRow> g_json;  // Mirrors every table row into BENCH_fault_tolerance.json.
+
 void AddRow(TablePrinter& table, const std::string& axis, const std::string& system,
             const RunResult& r) {
   table.AddRow({axis, system, Krps(r.goodput_rps), Us(r.e2e.P999()),
@@ -60,6 +62,10 @@ void AddRow(TablePrinter& table, const std::string& axis, const std::string& sys
                 StrFormat("%llu", static_cast<unsigned long long>(r.failovers)),
                 StrFormat("%llu", static_cast<unsigned long long>(r.dropped)),
                 Pct(r.busy_wait_fraction)});
+  BenchJsonRow row = JsonRowOf(StrFormat("%s/%s", axis.c_str(), system.c_str()), r);
+  row.extra.emplace_back("p999_us", static_cast<double>(r.e2e.P999()) / 1000.0);
+  row.extra.emplace_back("requests_failed", static_cast<double>(r.requests_failed));
+  g_json.push_back(std::move(row));
 }
 
 void Run() {
@@ -126,6 +132,7 @@ void Run() {
               goodput[1] / (goodput[0] > 0.0 ? goodput[0] : 1.0));
   std::printf("(busy-waiting burns the core through every 20 us loss-detection window; "
               "yielding overlaps it with other requests)\n");
+  WriteBenchJson("fault_tolerance", g_json);
 }
 
 }  // namespace

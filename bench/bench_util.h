@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/base/env.h"
@@ -65,6 +66,54 @@ inline void PrintBreakdown(const char* label, const RunResult& r,
               Us(row.busy_wait_ns), Us(row.tx_wait_ns)});
   }
   t.Print();
+}
+
+// --- Machine-readable summaries ---
+//
+// Each bench can mirror its headline numbers into BENCH_<name>.json in the
+// working directory, one row per (system, load) point, so CI and plotting
+// scripts consume results without scraping the text tables.
+
+struct BenchJsonRow {
+  std::string label;
+  double goodput_rps = 0.0;
+  uint64_t p50_ns = 0;
+  uint64_t p99_ns = 0;
+  // Bench-specific scalars appended verbatim as extra JSON number fields.
+  std::vector<std::pair<std::string, double>> extra;
+};
+
+inline BenchJsonRow JsonRowOf(const std::string& label, const RunResult& r) {
+  BenchJsonRow row;
+  row.label = label;
+  row.goodput_rps = r.goodput_rps;
+  row.p50_ns = r.e2e.P50();
+  row.p99_ns = r.e2e.P99();
+  return row;
+}
+
+inline void WriteBenchJson(const char* bench, const std::vector<BenchJsonRow>& rows) {
+  const std::string path = StrFormat("BENCH_%s.json", bench);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("WARNING: could not write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n", bench);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const BenchJsonRow& row = rows[i];
+    std::fprintf(f, "    {\"label\": \"%s\", \"goodput_rps\": %.1f, \"p50_us\": %.3f, "
+                 "\"p99_us\": %.3f",
+                 row.label.c_str(), row.goodput_rps, static_cast<double>(row.p50_ns) / 1000.0,
+                 static_cast<double>(row.p99_ns) / 1000.0);
+    for (const auto& [key, value] : row.extra) {
+      std::fprintf(f, ", \"%s\": %g", key.c_str(), value);
+    }
+    std::fprintf(f, "}%s\n", i + 1 == rows.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu rows)\n", path.c_str(), rows.size());
 }
 
 // Call after printing a run's tables: a truncated trace must never read as a

@@ -114,12 +114,27 @@ void InvariantChecker::AuditPageTableCounters() {
   PageTable& pt = deps_.mm->page_table();
   uint64_t resident = 0;
   uint64_t fetching = 0;
+  uint64_t pf_fetching = 0;
+  uint64_t pf_resident = 0;
   for (uint64_t vpage = 0; vpage < pt.num_pages(); ++vpage) {
-    const PageState state = pt.entry(vpage).state;
-    if (state == PageState::kPresent) {
+    const PageEntry& e = pt.entry(vpage);
+    if (e.state == PageState::kPresent) {
       ++resident;
-    } else if (state == PageState::kFetching) {
+      if (e.prefetched) {
+        ++pf_resident;
+      }
+    } else if (e.state == PageState::kFetching) {
       ++fetching;
+      if (e.prefetched) {
+        ++pf_fetching;
+      }
+    } else if (e.prefetched) {
+      // A kRemote page must have resolved its prefetch (wasted/aborted)
+      // before giving the frame back; a lingering bit means a leaked
+      // prefetch-cache slot.
+      std::ostringstream os;
+      os << "page " << vpage << " is kRemote but still flagged prefetched";
+      Violation("prefetched bit leaked past eviction", os.str());
     }
   }
   if (resident != pt.resident_pages() || fetching != pt.fetching_pages()) {
@@ -127,6 +142,13 @@ void InvariantChecker::AuditPageTableCounters() {
     os << "walk found resident " << resident << " / fetching " << fetching << ", counters say "
        << pt.resident_pages() << " / " << pt.fetching_pages();
     Violation("page-table counters drifted from entries", os.str());
+  }
+  if (pf_fetching != pt.prefetched_fetching() || pf_resident != pt.prefetched_resident()) {
+    std::ostringstream os;
+    os << "walk found prefetched-fetching " << pf_fetching << " / prefetched-resident "
+       << pf_resident << ", counters say " << pt.prefetched_fetching() << " / "
+       << pt.prefetched_resident();
+    Violation("prefetch-cache counters drifted from entries", os.str());
   }
 }
 

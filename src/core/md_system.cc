@@ -300,6 +300,7 @@ RunResult MdSystem::Run(double offered_rps, SimDuration warmup_ns, SimDuration m
     r.fetch_retries += w->fetch_retries();
     r.fetch_timeouts += w->fetch_timeouts();
     r.failovers += w->failovers();
+    r.doorbells_saved += w->mem_qp()->doorbells_saved();
   }
   r.goodput_rps = loadgen_->GoodputRps();
   r.requests_failed = loadgen_->failed();

@@ -60,6 +60,9 @@ struct RunResult {
   double busy_wait_fraction = 0.0;         // Wasted (spinning) share of busy time.
 
   MemoryManager::Stats mem;
+  // Doorbell rings avoided by batched fault+prefetch posts, summed over the
+  // workers' memory QPs (0 when prefetching or batching is off).
+  uint64_t doorbells_saved = 0;
   uint64_t dispatcher_drops = 0;
   uint64_t requeues = 0;
   uint64_t worker_yields = 0;

@@ -32,14 +32,62 @@ void MemoryManager::ReleaseFrame() {
   frame_waiters_.NotifyOne();
 }
 
-void MemoryManager::BeginFetch(uint64_t vpage, bool prefetch) {
+void MemoryManager::BeginFetch(uint64_t vpage, bool prefetch, uint16_t owner) {
   TakeFrame();
-  page_table_.MarkFetching(vpage);
+  page_table_.MarkFetching(vpage, prefetch, owner);
   if (prefetch) {
     ++stats_.prefetches;
   } else {
     ++stats_.faults;
   }
+}
+
+void MemoryManager::MarkPrefetchLate(uint64_t vpage) {
+  ADIOS_DCHECK(IsPrefetchedInFlight(vpage));
+  const uint16_t owner = page_table_.entry(vpage).prefetch_owner;
+  page_table_.ClearPrefetched(vpage);
+  ++stats_.prefetch_late;
+  // Late counts as stride-correct feedback: had the window been deeper the
+  // page would have arrived in time, so the window should grow, not shrink.
+  NotifyPrefetchOutcome(owner, /*hit=*/true);
+}
+
+void MemoryManager::set_prefetch_feedback(uint16_t owner, PrefetchFeedback fn) {
+  if (prefetch_feedback_.size() <= owner) {
+    prefetch_feedback_.resize(owner + 1);
+  }
+  prefetch_feedback_[owner] = std::move(fn);
+}
+
+void MemoryManager::NotifyPrefetchOutcome(uint16_t owner, bool hit) {
+  if (owner < prefetch_feedback_.size() && prefetch_feedback_[owner]) {
+    prefetch_feedback_[owner](hit);
+  }
+}
+
+uint64_t MemoryManager::SelectVictim() {
+  // Prefetched-but-untouched frames are speculative: evicting one costs a
+  // possible future fault, evicting a demand-proven resident page costs a
+  // certain refault. Drain the prefetch FIFO (oldest first) before touching
+  // the clock. Entries are validated lazily — promotion and late-clearing
+  // leave stale page numbers behind rather than searching the deque.
+  size_t scan = prefetch_fifo_.size();
+  while (scan-- > 0 && !prefetch_fifo_.empty()) {
+    const uint64_t vpage = prefetch_fifo_.front();
+    prefetch_fifo_.pop_front();
+    const PageEntry& e = page_table_.entry(vpage);
+    if (!e.prefetched || e.state != PageState::kPresent) {
+      continue;  // Stale: promoted, evicted, or refetched since it was queued.
+    }
+    if (e.pins > 0) {
+      // A waiter is about to touch it (mapped but not yet resumed); it will
+      // promote shortly. Keep it queued in case it never does.
+      prefetch_fifo_.push_back(vpage);
+      continue;
+    }
+    return vpage;
+  }
+  return page_table_.SelectVictim();
 }
 
 void MemoryManager::AddFetchWaiter(uint64_t vpage, FetchWaiter resume) {
@@ -49,6 +97,10 @@ void MemoryManager::AddFetchWaiter(uint64_t vpage, FetchWaiter resume) {
 
 void MemoryManager::CompleteFetch(uint64_t vpage) {
   page_table_.MarkPresent(vpage);
+  if (page_table_.entry(vpage).prefetched) {
+    // Joined the prefetch cache: first in line for eviction until touched.
+    prefetch_fifo_.push_back(vpage);
+  }
   if (map_hook_) {
     map_hook_(vpage);  // Unpoison before any waiter can read the page.
   }
@@ -65,6 +117,11 @@ void MemoryManager::CompleteFetch(uint64_t vpage) {
 
 void MemoryManager::AbortFetch(uint64_t vpage) {
   ADIOS_CHECK(StateOf(vpage) == PageState::kFetching);
+  if (page_table_.entry(vpage).prefetched) {
+    // The speculation never landed; charge it as waste so the window shrinks.
+    ++stats_.prefetch_wasted;
+    NotifyPrefetchOutcome(page_table_.entry(vpage).prefetch_owner, /*hit=*/false);
+  }
   page_table_.MarkFetchAborted(vpage);
   ++stats_.fetch_aborts;
   std::vector<FetchWaiter> waiters;
@@ -83,6 +140,12 @@ void MemoryManager::AbortFetch(uint64_t vpage) {
 bool MemoryManager::EvictPage(uint64_t vpage) {
   PageEntry& e = page_table_.entry(vpage);
   ADIOS_CHECK(e.state == PageState::kPresent);
+  if (e.prefetched) {
+    // Evicted before any touch: the prefetch was wasted bandwidth and a
+    // wasted frame; the owner's window shrinks.
+    ++stats_.prefetch_wasted;
+    NotifyPrefetchOutcome(e.prefetch_owner, /*hit=*/false);
+  }
   const bool dirty = e.dirty;
   page_table_.MarkRemote(vpage);
   if (evict_hook_) {

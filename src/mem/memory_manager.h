@@ -53,6 +53,12 @@ class MemoryManager {
     uint64_t evictions_dirty = 0;
     uint64_t frame_stalls = 0;      // Fault had to wait for a free frame.
     uint64_t fetch_aborts = 0;      // Fetches abandoned after retry exhaustion.
+    // Prefetch-cache outcome accounting (docs/PREFETCH.md). Every prefetched
+    // page resolves to exactly one of hit / late / wasted (pages still in
+    // the cache when the run ends stay unresolved).
+    uint64_t prefetch_hits = 0;    // Touched while resident and untouched.
+    uint64_t prefetch_late = 0;    // Demand fault coalesced onto the in-flight prefetch.
+    uint64_t prefetch_wasted = 0;  // Evicted (or aborted) before any touch.
   };
 
   MemoryManager(Engine* engine, const Options& options);
@@ -75,10 +81,18 @@ class MemoryManager {
     --e.pins;
   }
 
-  // Records an access to a resident page (reference/dirty bits).
+  // Records an access to a resident page (reference/dirty bits). The first
+  // touch of a prefetched page promotes it out of the prefetch cache and
+  // counts a prefetch hit.
   void Touch(uint64_t vpage, bool write) {
     PageEntry& e = page_table_.entry(vpage);
     ADIOS_DCHECK(e.state == PageState::kPresent);
+    if (e.prefetched) {
+      const uint16_t owner = e.prefetch_owner;
+      page_table_.ClearPrefetched(vpage);
+      ++stats_.prefetch_hits;
+      NotifyPrefetchOutcome(owner, /*hit=*/true);
+    }
     e.referenced = true;
     if (write) {
       e.dirty = true;
@@ -133,8 +147,9 @@ class MemoryManager {
   // --- Fetch protocol ---
 
   // Reserves a frame and transitions kRemote -> kFetching. The caller must
-  // have checked HasFreeFrame(). `prefetch` only affects stats.
-  void BeginFetch(uint64_t vpage, bool prefetch = false);
+  // have checked HasFreeFrame(). Prefetch fetches enter the prefetch cache
+  // (tagged with the issuing worker for hit/waste feedback).
+  void BeginFetch(uint64_t vpage, bool prefetch = false, uint16_t owner = 0);
 
   // Registers a callback to run when the in-flight fetch of `vpage` settles:
   // `ok` is true when the page mapped (CompleteFetch) and false when the
@@ -150,10 +165,35 @@ class MemoryManager {
   // degradation path — waiters fail their requests instead of refetching).
   void AbortFetch(uint64_t vpage);
 
+  // --- Prefetch cache ---
+
+  // True when `vpage` is an untouched prefetched page in the given state.
+  bool IsPrefetchedInFlight(uint64_t vpage) const {
+    const PageEntry& e = page_table_.entry(vpage);
+    return e.prefetched && e.state == PageState::kFetching;
+  }
+  bool IsPrefetchedResident(uint64_t vpage) const {
+    const PageEntry& e = page_table_.entry(vpage);
+    return e.prefetched && e.state == PageState::kPresent;
+  }
+
+  // A demand fault landed on a prefetch still in flight: the fault coalesces
+  // onto the READ (never a duplicate post), the page leaves the prefetch
+  // cache, and the prefetcher learns its stride was right but its window too
+  // shallow — late feedback reports as a hit so the window grows.
+  void MarkPrefetchLate(uint64_t vpage);
+
+  // Routes prefetch-cache hit/waste outcomes for fetches tagged with
+  // `owner` back to that worker's prefetcher (null clears).
+  using PrefetchFeedback = std::function<void(bool hit)>;
+  void set_prefetch_feedback(uint16_t owner, PrefetchFeedback fn);
+
   // --- Eviction (driven by the reclaimer) ---
 
-  // Clock victim selection; page_table().num_pages() when none evictable.
-  uint64_t SelectVictim() { return page_table_.SelectVictim(); }
+  // Victim selection: untouched prefetched-resident pages first (FIFO order
+  // — the oldest unproven prefetch is the cheapest frame to reclaim), then
+  // the page table's clock. page_table().num_pages() when none evictable.
+  uint64_t SelectVictim();
 
   // Unmaps `vpage`. Returns true when the page was dirty: the caller must
   // write it back and call ReleaseFrame() once the WRITE completes. Clean
@@ -173,6 +213,7 @@ class MemoryManager {
 
  private:
   void TakeFrame();
+  void NotifyPrefetchOutcome(uint16_t owner, bool hit);
 
   Engine* engine_;
   Options options_;
@@ -184,6 +225,11 @@ class MemoryManager {
   std::function<void()> reclaim_kick_;
   PageHook evict_hook_;
   PageHook map_hook_;
+  // FIFO of prefetched pages in map order: the eviction pool consulted
+  // before the clock. Entries go stale when a page is promoted or late-
+  // cleared; SelectVictim() validates lazily against the page table.
+  std::deque<uint64_t> prefetch_fifo_;
+  std::vector<PrefetchFeedback> prefetch_feedback_;  // Indexed by owner.
   Stats stats_;
 };
 

@@ -25,10 +25,19 @@ struct PageEntry {
   PageState state = PageState::kRemote;
   bool dirty = false;
   bool referenced = false;  // Clock bit for eviction.
+  // In the prefetch cache: the page was fetched ahead of demand and has not
+  // been touched yet. Cleared by the first touch (promotion), by a demand
+  // fault coalescing onto the in-flight fetch (late), or by eviction/abort
+  // (waste). Prefetched-untouched frames are the reclaimer's first-choice
+  // victims (docs/PREFETCH.md).
+  bool prefetched = false;
   // Fault-handling pins: pages with blocked waiters must not be evicted
   // before the waiters touch them, or extreme memory pressure livelocks in
   // an evict-before-resume/refault cycle (kernels pin for the same reason).
   uint16_t pins = 0;
+  // Worker whose prefetcher issued the fetch; valid while `prefetched` is
+  // set. Hit/waste feedback routes back to that worker's window adaptation.
+  uint16_t prefetch_owner = 0;
 };
 
 class PageTable {
@@ -48,22 +57,37 @@ class PageTable {
 
   uint64_t resident_pages() const { return resident_; }
   uint64_t fetching_pages() const { return fetching_; }
+  // Prefetch-cache population, split by state (audited against a full walk
+  // by the invariant checker).
+  uint64_t prefetched_fetching() const { return prefetched_fetching_; }
+  uint64_t prefetched_resident() const { return prefetched_resident_; }
 
-  void MarkFetching(uint64_t vpage) {
+  void MarkFetching(uint64_t vpage, bool prefetched = false, uint16_t owner = 0) {
     PageEntry& e = entry(vpage);
     ADIOS_DCHECK(e.state == PageState::kRemote);
     e.state = PageState::kFetching;
+    e.prefetched = prefetched;
+    e.prefetch_owner = owner;
     ++fetching_;
+    if (prefetched) {
+      ++prefetched_fetching_;
+    }
   }
 
   void MarkPresent(uint64_t vpage) {
     PageEntry& e = entry(vpage);
     ADIOS_DCHECK(e.state == PageState::kFetching);
     e.state = PageState::kPresent;
-    e.referenced = true;
+    // Prefetched pages map cold: the reference bit is earned by the first
+    // demand touch, which also promotes them out of the prefetch cache.
+    e.referenced = !e.prefetched;
     e.dirty = false;
     --fetching_;
     ++resident_;
+    if (e.prefetched) {
+      --prefetched_fetching_;
+      ++prefetched_resident_;
+    }
   }
 
   void MarkRemote(uint64_t vpage) {
@@ -73,6 +97,10 @@ class PageTable {
     e.referenced = false;
     e.dirty = false;
     --resident_;
+    if (e.prefetched) {
+      e.prefetched = false;
+      --prefetched_resident_;
+    }
   }
 
   // Fetch abandoned after retry exhaustion: the page never mapped, so it
@@ -84,6 +112,26 @@ class PageTable {
     e.referenced = false;
     e.dirty = false;
     --fetching_;
+    if (e.prefetched) {
+      e.prefetched = false;
+      --prefetched_fetching_;
+    }
+  }
+
+  // Leaves the prefetch cache without leaving residency: the first touch
+  // (promotion) or a demand fault coalescing onto the in-flight fetch
+  // (late). The page keeps its current state; only the bit and counters
+  // change.
+  void ClearPrefetched(uint64_t vpage) {
+    PageEntry& e = entry(vpage);
+    ADIOS_DCHECK(e.prefetched);
+    e.prefetched = false;
+    if (e.state == PageState::kFetching) {
+      --prefetched_fetching_;
+    } else {
+      ADIOS_DCHECK(e.state == PageState::kPresent);
+      --prefetched_resident_;
+    }
   }
 
   // Clock-algorithm victim selection: advances the hand, clearing reference
@@ -111,6 +159,8 @@ class PageTable {
   std::vector<PageEntry> entries_;
   uint64_t resident_ = 0;
   uint64_t fetching_ = 0;
+  uint64_t prefetched_fetching_ = 0;
+  uint64_t prefetched_resident_ = 0;
   uint64_t hand_ = 0;
 };
 

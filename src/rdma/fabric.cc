@@ -71,6 +71,25 @@ bool QueuePair::PostRead(uint64_t bytes, uint64_t wr_id, uint32_t node) {
   return true;
 }
 
+size_t QueuePair::PostReadBatch(uint64_t bytes, const ReadOp* ops, size_t n) {
+  std::vector<ReadOp> batch;
+  batch.reserve(n);
+  while (batch.size() < n && !full()) {
+    const ReadOp& op = ops[batch.size()];
+    ADIOS_DCHECK(op.node < fabric_->num_nodes());
+    ++outstanding_;
+    ++posted_reads_;
+    batch.push_back(op);
+  }
+  if (batch.empty()) {
+    return 0;
+  }
+  const size_t accepted = batch.size();
+  doorbells_saved_ += accepted - 1;
+  fabric_->IssueReadBatch(this, bytes, std::move(batch));
+  return accepted;
+}
+
 bool QueuePair::PostWrite(uint64_t bytes, uint64_t wr_id, uint32_t node) {
   if (full()) {
     return false;
@@ -107,21 +126,43 @@ void RdmaFabric::IssueRead(QueuePair* qp, uint64_t bytes, uint64_t wr_id, uint32
     return;
   }
   const uint32_t flow = qp->flow_id();
+  wqe_engine_.Enqueue(flow, 0, [this, qp, bytes, wr_id, node] {
+    IssueReadWire(qp, bytes, wr_id, node);
+  });
+}
+
+void RdmaFabric::IssueReadWire(QueuePair* qp, uint64_t bytes, uint64_t wr_id, uint32_t node) {
+  const uint32_t flow = qp->flow_id();
   const uint64_t hdr = params_.header_bytes;
-  wqe_engine_.Enqueue(flow, 0, [this, qp, flow, bytes, hdr, wr_id, node] {
-    nodes_[node]->c2m.Enqueue(flow, hdr, [this, qp, flow, bytes, hdr, wr_id, node] {
-      engine_->Schedule(params_.wire_latency_ns + params_.remote_dma_ns,
-                        [this, qp, flow, bytes, hdr, wr_id, node] {
-                          nodes_[node]->m2c.Enqueue(flow, bytes + hdr, [this, qp, wr_id, node] {
-                            engine_->Schedule(
-                                params_.wire_latency_ns + params_.cqe_deliver_ns,
-                                [qp, wr_id, node] {
-                                  qp->Complete(wr_id, WorkType::kRead,
-                                               CompletionStatus::kSuccess, node);
-                                });
-                          });
+  nodes_[node]->c2m.Enqueue(flow, hdr, [this, qp, flow, bytes, hdr, wr_id, node] {
+    engine_->Schedule(params_.wire_latency_ns + params_.remote_dma_ns,
+                      [this, qp, flow, bytes, hdr, wr_id, node] {
+                        nodes_[node]->m2c.Enqueue(flow, bytes + hdr, [this, qp, wr_id, node] {
+                          engine_->Schedule(
+                              params_.wire_latency_ns + params_.cqe_deliver_ns,
+                              [qp, wr_id, node] {
+                                qp->Complete(wr_id, WorkType::kRead,
+                                             CompletionStatus::kSuccess, node);
+                              });
                         });
-    });
+                      });
+  });
+}
+
+void RdmaFabric::IssueReadBatch(QueuePair* qp, uint64_t bytes, std::vector<ReadOp> ops) {
+  ADIOS_DCHECK(!ops.empty());
+  const uint32_t flow = qp->flow_id();
+  // One WQE-engine pass covers the whole batch (the doorbell amortization);
+  // the ops then enter the wire in posting order, demand READ first, each
+  // paying its own link serialization, DMA, and CQE delivery.
+  wqe_engine_.Enqueue(flow, 0, [this, qp, bytes, ops = std::move(ops)] {
+    for (const ReadOp& op : ops) {
+      if (nodes_[op.node]->injector != nullptr) {
+        IssueReadFaultyWire(qp, bytes, op.wr_id, op.node);
+      } else {
+        IssueReadWire(qp, bytes, op.wr_id, op.node);
+      }
+    }
   });
 }
 
@@ -225,6 +266,67 @@ void RdmaFabric::IssueReadFaulty(QueuePair* qp, uint64_t bytes, uint64_t wr_id,
                           });
                         });
     });
+  });
+}
+
+void RdmaFabric::IssueReadFaultyWire(QueuePair* qp, uint64_t bytes, uint64_t wr_id,
+                                     uint32_t node) {
+  // Mirror of IssueReadFaulty for ops that already cleared the shared WQE-
+  // engine pass of a batch: classification and the drop-detect clock start
+  // here (wire entry) instead of at post time.
+  FaultInjector* injector = nodes_[node]->injector;
+  const FaultInjector::Verdict v = injector->Classify(WorkType::kRead, engine_->now());
+  const uint32_t flow = qp->flow_id();
+  const uint64_t hdr = params_.header_bytes;
+  switch (v.action) {
+    case FaultInjector::Action::kDrop: {
+      nodes_[node]->c2m.Enqueue(flow, hdr, [] {});
+      engine_->Schedule(injector->options().drop_detect_ns, [qp, wr_id, node] {
+        qp->Complete(wr_id, WorkType::kRead, CompletionStatus::kRetryExceeded, node);
+      });
+      return;
+    }
+    case FaultInjector::Action::kNack: {
+      nodes_[node]->c2m.Enqueue(flow, hdr, [this, qp, wr_id, node, injector] {
+        engine_->Schedule(injector->options().nack_rtt_ns, [qp, wr_id, node] {
+          qp->Complete(wr_id, WorkType::kRead, CompletionStatus::kRnrNak, node);
+        });
+      });
+      return;
+    }
+    case FaultInjector::Action::kDeliver:
+    case FaultInjector::Action::kDelay:
+    case FaultInjector::Action::kDuplicate:
+      break;
+  }
+  const SimDuration spike = v.action == FaultInjector::Action::kDelay ? v.extra_ns : 0;
+  const SimDuration dup_lag =
+      v.action == FaultInjector::Action::kDuplicate ? v.extra_ns : 0;
+  nodes_[node]->c2m.Enqueue(flow, hdr, [this, qp, flow, bytes, hdr, wr_id, spike, dup_lag,
+                                        node, injector] {
+    const SimDuration dma =
+        params_.remote_dma_ns + injector->DmaPenaltyNs(engine_->now(), params_.remote_dma_ns);
+    engine_->Schedule(params_.wire_latency_ns + dma + spike,
+                      [this, qp, flow, bytes, hdr, wr_id, dup_lag, node] {
+                        nodes_[node]->m2c.Enqueue(flow, bytes + hdr, [this, qp, wr_id,
+                                                                     dup_lag, node] {
+                          engine_->Schedule(
+                              params_.wire_latency_ns + params_.cqe_deliver_ns,
+                              [this, qp, wr_id, dup_lag, node] {
+                                qp->Complete(wr_id, WorkType::kRead,
+                                             CompletionStatus::kSuccess, node);
+                                if (dup_lag > 0) {
+                                  engine_->Schedule(dup_lag, [this, qp, wr_id, node] {
+                                    qp->cq()->Push(Completion{wr_id, qp->id(),
+                                                              WorkType::kRead,
+                                                              engine_->now(),
+                                                              CompletionStatus::kSuccess,
+                                                              node});
+                                  });
+                                }
+                              });
+                        });
+                      });
   });
 }
 

@@ -36,6 +36,14 @@ namespace adios {
 
 class RdmaFabric;
 
+// One READ of a doorbell-batched post (PostReadBatch): its completion
+// identity and target memory node. Payload size is shared batch-wide (page
+// fetches are uniform).
+struct ReadOp {
+  uint64_t wr_id = 0;
+  uint32_t node = 0;
+};
+
 // A queue pair. Owns nothing but its identity and counters; the fabric
 // executes the datapath.
 class QueuePair {
@@ -53,6 +61,15 @@ class QueuePair {
   // One-sided READ of `bytes` from memory node `node`. Returns false when
   // the send queue is full (depth_ WQEs already outstanding).
   bool PostRead(uint64_t bytes, uint64_t wr_id, uint32_t node = 0);
+
+  // Doorbell-batched READs (DaeMon-style, docs/PREFETCH.md): up to `n` WQEs
+  // posted with ONE doorbell ring — the batch pays a single pass through the
+  // compute NIC's WQE engine, then each op runs the normal per-op wire
+  // pipeline in order and retires its own CQE. Accepts the longest prefix
+  // that fits in the send queue and returns its length (0 when full; the
+  // caller posts the rest individually under backpressure). A batch of one
+  // behaves exactly like PostRead on the ideal fabric.
+  size_t PostReadBatch(uint64_t bytes, const ReadOp* ops, size_t n);
 
   // One-sided WRITE of `bytes` to memory node `node` (page write-back).
   bool PostWrite(uint64_t bytes, uint64_t wr_id, uint32_t node = 0);
@@ -73,6 +90,8 @@ class QueuePair {
   uint64_t posted_reads() const { return posted_reads_; }
   uint64_t posted_writes() const { return posted_writes_; }
   uint64_t posted_sends() const { return posted_sends_; }
+  // Doorbell rings avoided by batching: sum over batches of (size - 1).
+  uint64_t doorbells_saved() const { return doorbells_saved_; }
   // Completions that retired a WQE. The fault injector's duplicated
   // completions bypass this (and `outstanding`) by design, so
   //   posted_reads + posted_writes + posted_sends == completions + outstanding
@@ -96,6 +115,7 @@ class QueuePair {
   uint64_t posted_writes_ = 0;
   uint64_t posted_sends_ = 0;
   uint64_t completions_ = 0;
+  uint64_t doorbells_saved_ = 0;
 };
 
 class RdmaFabric {
@@ -172,6 +192,18 @@ class RdmaFabric {
   // Injection-aware variants of the one-sided pipelines.
   void IssueReadFaulty(QueuePair* qp, uint64_t bytes, uint64_t wr_id, uint32_t node);
   void IssueWriteFaulty(QueuePair* qp, uint64_t bytes, uint64_t wr_id, uint32_t node);
+  // Doorbell-batched READs: one WQE-engine pass for the whole batch, then
+  // the per-op wire pipelines start in posting order.
+  void IssueReadBatch(QueuePair* qp, uint64_t bytes, std::vector<ReadOp> ops);
+  // The READ pipeline downstream of the WQE engine (c2m onward). IssueRead
+  // runs exactly this from its WQE-engine callback; batched ops enter here
+  // directly, sharing one engine pass.
+  void IssueReadWire(QueuePair* qp, uint64_t bytes, uint64_t wr_id, uint32_t node);
+  // Injection-aware wire stage for batched ops. Unlike IssueReadFaulty
+  // (which classifies at post time to stay bit-identical with the
+  // pre-batching fabric), this classifies when the shared WQE-engine pass
+  // completes — the moment the op actually enters the wire.
+  void IssueReadFaultyWire(QueuePair* qp, uint64_t bytes, uint64_t wr_id, uint32_t node);
 
   Engine* engine_;
   FabricParams params_;

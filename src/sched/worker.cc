@@ -20,7 +20,8 @@ Worker::Worker(uint32_t index, Engine* engine, CpuCore* core, MemoryManager* mm,
       events_(engine),
       mem_cq_wait_(engine),
       client_cq_wait_(engine),
-      prefetcher_(config.prefetch_window),
+      prefetcher_(MakePrefetcher(config.prefetch_policy, config.prefetch_window,
+                                 config.prefetch_history, static_cast<uint16_t>(index))),
       rng_(config.seed * 7919 + index) {
   mem_qp_->cq()->set_on_push([this] {
     mem_cq_wait_.NotifyAll();
@@ -29,6 +30,16 @@ Worker::Worker(uint32_t index, Engine* engine, CpuCore* core, MemoryManager* mm,
   if (!cfg_.polling_delegation) {
     client_qp_->cq()->set_on_push([this] { client_cq_wait_.NotifyAll(); });
   }
+  // Prefetch-cache outcomes for fetches this worker issued route back to its
+  // detector's window adaptation — even when another worker (or the
+  // reclaimer) resolves the page.
+  mm_->set_prefetch_feedback(static_cast<uint16_t>(index), [this](bool hit) {
+    if (hit) {
+      prefetcher_->OnPrefetchHit();
+    } else {
+      prefetcher_->OnPrefetchWaste();
+    }
+  });
 }
 
 void Worker::Start() {
@@ -402,7 +413,17 @@ void Worker::AccessPage(uint64_t vpage, bool write) {
     }
     switch (mm_->StateOf(vpage)) {
       case PageState::kPresent:
-        // MMU hit: free.
+        // MMU hit: free. The first touch of a prefetched page promotes it
+        // out of the prefetch cache (Touch counts the hit) and extends the
+        // stride detector's access trail — without this, full prefetch
+        // coverage would starve the detector of its own signal.
+        if (mm_->IsPrefetchedResident(vpage)) {
+          prefetcher_->OnTouch(vpage);
+          if (tracer_ != nullptr) {
+            tracer_->Record(engine_->now(), running_->req->id, TraceEvent::kPrefetchHit,
+                            static_cast<uint32_t>(vpage));
+          }
+        }
         mm_->Touch(vpage, write);
         return;
       case PageState::kFetching:
@@ -410,6 +431,13 @@ void Worker::AccessPage(uint64_t vpage, bool write) {
         // (unless it mapped while we were trapping).
         core_->Consume(cfg_.fault_entry_cycles);
         if (mm_->StateOf(vpage) == PageState::kFetching) {
+          if (mm_->IsPrefetchedInFlight(vpage)) {
+            // Demand beat the prefetched READ home: attach a waiter to the
+            // in-flight fetch (never a duplicate post) and count it late —
+            // right stride, window too shallow.
+            prefetcher_->OnTouch(vpage);
+            mm_->MarkPrefetchLate(vpage);
+          }
           ++mm_->stats().shared_faults;
           ++running_->req->faults;
           mm_->Pin(vpage);
@@ -440,14 +468,7 @@ void Worker::AccessPage(uint64_t vpage, bool write) {
                           static_cast<uint32_t>(vpage));
         }
         mm_->Pin(vpage);
-        PostReadWithBackpressure(vpage);
-        if (cfg_.prefetch_window > 0) {
-          prefetch_scratch_.clear();
-          prefetcher_.OnFault(vpage, mm_, &prefetch_scratch_);
-          for (const uint64_t q : prefetch_scratch_) {
-            PostReadWithBackpressure(q);
-          }
-        }
+        PostFaultReads(vpage);
         BlockOnFetch(vpage);
         mm_->Unpin(vpage);
         continue;  // Re-check: maps on completion, so this hits kPresent.
@@ -514,6 +535,62 @@ void Worker::PostReadWithBackpressure(uint64_t vpage) {
   }
   if (cfg_.retry.enabled) {
     TrackFetch(vpage, node);
+  }
+}
+
+void Worker::PostFaultReads(uint64_t vpage) {
+  // Candidates are gathered (and transitioned to kFetching) before any cycle
+  // charge below: once marked, no concurrent handler can double-fetch them,
+  // and demand faults landing on them coalesce.
+  prefetch_scratch_.clear();
+  if (cfg_.prefetch_window > 0) {
+    prefetcher_->OnFault(vpage, mm_, &prefetch_scratch_);
+    if (tracer_ != nullptr) {
+      for (const uint64_t q : prefetch_scratch_) {
+        tracer_->Record(engine_->now(), running_->req->id, TraceEvent::kPrefetch,
+                        static_cast<uint32_t>(q));
+      }
+    }
+  }
+  if (prefetch_scratch_.empty() || cfg_.post_read_batch <= 1) {
+    // Legacy path: one doorbell per READ. With prefetching off this is
+    // bit-identical to the pre-batching worker.
+    PostReadWithBackpressure(vpage);
+    for (const uint64_t q : prefetch_scratch_) {
+      PostReadWithBackpressure(q);
+    }
+    return;
+  }
+  // Doorbell-batched post: the demand READ plus up to post_read_batch - 1
+  // prefetch candidates ring one doorbell. Each page still picks its own
+  // replica (placement / node health from the failover layer).
+  const size_t cap = cfg_.post_read_batch - 1 < prefetch_scratch_.size()
+                         ? cfg_.post_read_batch - 1
+                         : prefetch_scratch_.size();
+  batch_ops_.clear();
+  batch_ops_.push_back(ReadOp{vpage, ChooseReadNode(vpage)});
+  for (size_t i = 0; i < cap; ++i) {
+    batch_ops_.push_back(ReadOp{prefetch_scratch_[i], ChooseReadNode(prefetch_scratch_[i])});
+  }
+  core_->Consume(cfg_.post_read_cycles +
+                 cfg_.post_read_wqe_cycles * static_cast<uint32_t>(batch_ops_.size() - 1));
+  const size_t accepted =
+      mem_qp_->PostReadBatch(mm_->page_bytes(), batch_ops_.data(), batch_ops_.size());
+  if (cfg_.retry.enabled) {
+    for (size_t i = 0; i < accepted; ++i) {
+      TrackFetch(batch_ops_[i].wr_id, batch_ops_[i].node);
+    }
+  }
+  // Everything the send queue rejected — and candidates beyond the batch
+  // cap — is already kFetching (possibly with coalesced waiters), so it must
+  // still be posted: one doorbell each, waiting out backpressure. Note the
+  // batch accepts a prefix, so a rejected demand READ (accepted == 0) is
+  // reposted first here.
+  for (size_t i = accepted; i < batch_ops_.size(); ++i) {
+    PostReadWithBackpressure(batch_ops_[i].wr_id);
+  }
+  for (size_t i = cap; i < prefetch_scratch_.size(); ++i) {
+    PostReadWithBackpressure(prefetch_scratch_[i]);
   }
 }
 

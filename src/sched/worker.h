@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -134,6 +135,10 @@ class Worker final : public WorkerApi {
   void BlockOnFetch(uint64_t vpage);
   void WaitForFreeFrame();
   void PostReadWithBackpressure(uint64_t vpage);
+  // Posts the demand READ for `vpage` plus the prefetcher's candidates —
+  // doorbell-batched when enabled, one doorbell each otherwise (the
+  // bit-identical legacy path when prefetching or batching is off).
+  void PostFaultReads(uint64_t vpage);
   // Polls the memory CQ, maps fetched pages, runs waiters. Returns #polled.
   size_t DrainMemCq();
 
@@ -201,8 +206,9 @@ class Worker final : public WorkerApi {
   WaitQueue events_;        // Worker-loop sleep: assigns, ready items, CQ pushes.
   WaitQueue mem_cq_wait_;   // Busy-wait handlers sleeping on CQ activity.
   WaitQueue client_cq_wait_;
-  SequentialPrefetcher prefetcher_;
+  std::unique_ptr<Prefetcher> prefetcher_;
   std::vector<uint64_t> prefetch_scratch_;
+  std::vector<ReadOp> batch_ops_;  // Scratch for doorbell-batched posts.
   Rng rng_;
 
   std::unordered_map<uint64_t, PendingFetch> pending_fetch_;

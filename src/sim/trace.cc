@@ -32,6 +32,10 @@ const char* TraceEventName(TraceEvent ev) {
       return "failover";
     case TraceEvent::kResilverDone:
       return "resilver-done";
+    case TraceEvent::kPrefetch:
+      return "prefetch";
+    case TraceEvent::kPrefetchHit:
+      return "prefetch-hit";
   }
   return "?";
 }
@@ -66,7 +70,8 @@ void Tracer::PrintTimeline(uint64_t request_id, std::FILE* out) const {
     if (e.event == TraceEvent::kDispatch || e.event == TraceEvent::kStart ||
         e.event == TraceEvent::kResume) {
       std::fprintf(out, " worker=%u", e.arg);
-    } else if (e.event == TraceEvent::kFault || e.event == TraceEvent::kFetchTimeout) {
+    } else if (e.event == TraceEvent::kFault || e.event == TraceEvent::kFetchTimeout ||
+               e.event == TraceEvent::kPrefetch || e.event == TraceEvent::kPrefetchHit) {
       std::fprintf(out, " page=%u", e.arg);
     } else if (e.event == TraceEvent::kRetry) {
       std::fprintf(out, " attempt=%u", e.arg);

@@ -35,6 +35,9 @@ enum class TraceEvent : uint8_t {
   kNodeDead = 11,      // Health monitor: node entered kDead (arg = node).
   kFailover = 12,      // In-flight fetch redirected to a replica (arg = node).
   kResilverDone = 13,  // Node fully re-replicated; back to kHealthy (arg = node).
+  // Prefetching (docs/PREFETCH.md).
+  kPrefetch = 14,     // Prefetch READ posted alongside a demand fault (arg = page).
+  kPrefetchHit = 15,  // Access hit a prefetched page before eviction (arg = page).
 };
 
 const char* TraceEventName(TraceEvent ev);

@@ -141,5 +141,109 @@ TEST(MemoryManager, StatsCountFaultKinds) {
   EXPECT_EQ(mm.stats().prefetches, 1u);
 }
 
+// --- Prefetch cache (docs/PREFETCH.md) ---
+
+TEST(MemoryManager, PrefetchedUntouchedIsFirstChoiceVictim) {
+  Engine e;
+  MemoryManager mm(&e, SmallOptions());
+  // A demand page touched recently and a prefetched page nobody touched.
+  mm.BeginFetch(1);
+  mm.CompleteFetch(1);
+  mm.Touch(1, /*write=*/false);
+  mm.BeginFetch(2, /*prefetch=*/true);
+  mm.CompleteFetch(2);
+  mm.BeginFetch(3, /*prefetch=*/true);
+  mm.CompleteFetch(3);
+  // Untouched prefetches go first, in FIFO order — before any clock scan
+  // would reach the demand page.
+  EXPECT_EQ(mm.SelectVictim(), 2u);
+  mm.EvictPage(2);
+  EXPECT_EQ(mm.SelectVictim(), 3u);
+  mm.EvictPage(3);
+  // Cache empty: falls back to the clock hand.
+  EXPECT_EQ(mm.SelectVictim(), 1u);
+  // Both evictions before a touch count as waste.
+  EXPECT_EQ(mm.stats().prefetch_wasted, 2u);
+}
+
+TEST(MemoryManager, TouchPromotesOutOfPrefetchCache) {
+  Engine e;
+  MemoryManager mm(&e, SmallOptions());
+  mm.BeginFetch(2, /*prefetch=*/true);
+  mm.CompleteFetch(2);
+  EXPECT_TRUE(mm.IsPrefetchedResident(2));
+  mm.Touch(2, /*write=*/false);
+  EXPECT_FALSE(mm.IsPrefetchedResident(2));
+  EXPECT_EQ(mm.stats().prefetch_hits, 1u);
+  // Promoted: no longer in the first-choice pool. A younger untouched
+  // prefetch is victimized ahead of it even though 2 entered the cache
+  // first, and evicting the promoted page later is not waste.
+  mm.BeginFetch(3, /*prefetch=*/true);
+  mm.CompleteFetch(3);
+  EXPECT_EQ(mm.SelectVictim(), 3u);
+  mm.EvictPage(3);
+  mm.EvictPage(2);
+  EXPECT_EQ(mm.stats().prefetch_wasted, 1u);  // Only page 3.
+}
+
+TEST(MemoryManager, PinnedPrefetchedPageSkippedBySelectVictim) {
+  Engine e;
+  MemoryManager mm(&e, SmallOptions());
+  mm.BeginFetch(2, /*prefetch=*/true);
+  mm.CompleteFetch(2);
+  mm.BeginFetch(3, /*prefetch=*/true);
+  mm.CompleteFetch(3);
+  mm.Pin(2);
+  EXPECT_EQ(mm.SelectVictim(), 3u);  // The pinned entry is passed over.
+  mm.Unpin(2);
+  mm.EvictPage(3);
+  EXPECT_EQ(mm.SelectVictim(), 2u);  // Unpinned: eligible again.
+}
+
+TEST(MemoryManager, MarkPrefetchLateResolvesInFlightPrefetch) {
+  Engine e;
+  MemoryManager mm(&e, SmallOptions());
+  mm.BeginFetch(7, /*prefetch=*/true);
+  EXPECT_TRUE(mm.IsPrefetchedInFlight(7));
+  mm.MarkPrefetchLate(7);
+  EXPECT_FALSE(mm.IsPrefetchedInFlight(7));
+  EXPECT_EQ(mm.stats().prefetch_late, 1u);
+  // Resolved late: completion maps it as a normal page, not a cache entry.
+  mm.CompleteFetch(7);
+  EXPECT_FALSE(mm.IsPrefetchedResident(7));
+  EXPECT_EQ(mm.stats().prefetch_hits, 0u);
+}
+
+TEST(MemoryManager, AbortedPrefetchCountsWaste) {
+  Engine e;
+  MemoryManager mm(&e, SmallOptions());
+  mm.BeginFetch(4, /*prefetch=*/true);
+  mm.AbortFetch(4);
+  EXPECT_EQ(mm.stats().prefetch_wasted, 1u);
+  EXPECT_EQ(mm.StateOf(4), PageState::kRemote);
+  EXPECT_EQ(mm.page_table().prefetched_fetching(), 0u);
+  EXPECT_EQ(mm.page_table().prefetched_resident(), 0u);
+}
+
+TEST(MemoryManager, PrefetchFeedbackRoutesToOwner) {
+  Engine e;
+  MemoryManager mm(&e, SmallOptions());
+  int hits0 = 0, wastes0 = 0, hits1 = 0, wastes1 = 0;
+  mm.set_prefetch_feedback(0, [&](bool hit) { hit ? ++hits0 : ++wastes0; });
+  mm.set_prefetch_feedback(1, [&](bool hit) { hit ? ++hits1 : ++wastes1; });
+  mm.BeginFetch(2, /*prefetch=*/true, /*owner=*/0);
+  mm.CompleteFetch(2);
+  mm.Touch(2, /*write=*/false);  // Hit -> owner 0.
+  mm.BeginFetch(3, /*prefetch=*/true, /*owner=*/1);
+  mm.CompleteFetch(3);
+  mm.EvictPage(3);  // Waste -> owner 1.
+  mm.BeginFetch(4, /*prefetch=*/true, /*owner=*/1);
+  mm.MarkPrefetchLate(4);  // Late counts as stride-correct -> hit for owner 1.
+  EXPECT_EQ(hits0, 1);
+  EXPECT_EQ(wastes0, 0);
+  EXPECT_EQ(hits1, 1);
+  EXPECT_EQ(wastes1, 1);
+}
+
 }  // namespace
 }  // namespace adios
