@@ -27,6 +27,7 @@
 
 #include "bench/bench_util.h"
 #include "src/apps/memcached_app.h"
+#include "src/obs/time_series.h"
 
 namespace adios {
 namespace {
@@ -46,7 +47,7 @@ MemcachedApp::Options Workload() {
 
 RunResult RunPoint(const std::string& system, uint32_t replicas, double load,
                    SimDuration blackout_start, SimDuration blackout_duration,
-                   const BenchTiming& timing) {
+                   const BenchTiming& timing, const BenchTraceArgs* trace = nullptr) {
   SystemConfig cfg = system == "DiLOS" ? SystemConfig::DiLOS() : SystemConfig::Adios();
   cfg.name = StrFormat("%s-R%u", system.c_str(), replicas);
   cfg.replication.num_nodes = std::max(2u, replicas);  // R1 still has 2 nodes...
@@ -60,27 +61,23 @@ RunResult RunPoint(const std::string& system, uint32_t replicas, double load,
   cfg.fault.blackout_node = 0;
   MemcachedApp app(Workload());
   MdSystem sys(cfg, &app);
-  return sys.Run(load, timing.warmup, timing.measure);
+  if (trace != nullptr) {
+    sys.tracer().Enable(1u << 20);
+  }
+  RunResult r = sys.Run(load, timing.warmup, timing.measure);
+  if (trace != nullptr) {
+    ExportBenchTrace(sys, *trace);
+  }
+  return r;
 }
 
-// Goodput (K completions/s) binned by reply-landing time across the window.
-std::vector<double> Timeline(const RunResult& r, SimDuration warmup, SimDuration measure,
-                             SimDuration bin_ns) {
-  const size_t bins = static_cast<size_t>((measure + bin_ns - 1) / bin_ns);
-  std::vector<double> out(bins, 0.0);
-  for (const RequestSample& s : r.samples) {
-    if (s.finish_ns < warmup) {
-      continue;
-    }
-    const size_t bin = static_cast<size_t>((s.finish_ns - warmup) / bin_ns);
-    if (bin < bins) {
-      out[bin] += 1.0;
-    }
-  }
-  for (double& v : out) {
-    v = v / (static_cast<double>(bin_ns) * 1e-9) / 1000.0;  // K/s.
-  }
-  return out;
+// Dedicated traced Adios-R2 blackout run: the health transitions and
+// failovers land as instants on the node tracks of the exported JSON.
+void TracedRun(const BenchTraceArgs& args) {
+  const BenchTiming timing = DefaultTiming();
+  const double load = EnvDouble("ADIOS_BENCH_FAILOVER_LOAD", 8e5);
+  const SimDuration blackout_start = timing.warmup + timing.measure * 3 / 10;
+  RunPoint("Adios", 2, load, blackout_start, timing.measure / 10, timing, &args);
 }
 
 void Run() {
@@ -109,21 +106,22 @@ void Run() {
                     RunPoint("DiLOS", 2, load, blackout_start, blackout_duration, timing),
                     timing.warmup});
 
-  // --- Timeline ---
-  std::vector<std::vector<double>> lines;
+  // --- Timeline: the RunResult's windowed snapshots, rebuilt at this bench's
+  // coarser bin so the table stays readable (docs/OBSERVABILITY.md) ---
+  std::vector<TimeSeries> lines;
   for (const Point& p : points) {
-    lines.push_back(Timeline(p.result, p.warmup, timing.measure, bin_ns));
+    lines.push_back(BuildTimeSeries(p.result.samples, {}, p.warmup, timing.measure, bin_ns));
   }
   std::printf("\ngoodput timeline (K completions/s per %.2f ms bin; * = blackout):\n",
               static_cast<double>(bin_ns) / 1e6);
   TablePrinter tl({"t(ms)", points[0].label, points[1].label, points[2].label, ""});
-  for (size_t b = 0; b < lines[0].size(); ++b) {
+  for (size_t b = 0; b < lines[0].windows.size(); ++b) {
     const SimTime bin_start = timing.warmup + static_cast<SimTime>(b) * bin_ns;
     const bool dark = bin_start < blackout_start + blackout_duration &&
                       bin_start + bin_ns > blackout_start;
     tl.AddRow({StrFormat("%.2f", static_cast<double>(bin_start - timing.warmup) / 1e6),
-               StrFormat("%.0f", lines[0][b]), StrFormat("%.0f", lines[1][b]),
-               StrFormat("%.0f", lines[2][b]), dark ? "*" : ""});
+               StrFormat("%.0f", lines[0].GoodputKrps(b)), StrFormat("%.0f", lines[1].GoodputKrps(b)),
+               StrFormat("%.0f", lines[2].GoodputKrps(b)), dark ? "*" : ""});
   }
   tl.Print();
 
@@ -154,18 +152,18 @@ void Run() {
   WriteBenchJson("failover", json);
 
   // --- Recovery check: Adios-R2 goodput returns to >= 90% of pre-blackout ---
-  const std::vector<double>& adios = lines[0];
+  const TimeSeries& adios = lines[0];
   const size_t first_dark = static_cast<size_t>((blackout_start - timing.warmup) / bin_ns);
   const size_t first_clear =
       static_cast<size_t>((blackout_start + blackout_duration - timing.warmup) / bin_ns) + 1;
   double pre = 0.0;
   for (size_t b = 0; b < first_dark; ++b) {
-    pre += adios[b];
+    pre += adios.GoodputKrps(b);
   }
   pre /= static_cast<double>(first_dark == 0 ? 1 : first_dark);
   double post_peak = 0.0;
-  for (size_t b = first_clear; b < adios.size(); ++b) {
-    post_peak = std::max(post_peak, adios[b]);
+  for (size_t b = first_clear; b < adios.windows.size(); ++b) {
+    post_peak = std::max(post_peak, adios.GoodputKrps(b));
   }
   const RunResult& r2 = points[0].result;
   std::printf("\nAdios-R2: pre-blackout %.0f K/s, post-blackout peak %.0f K/s (%.0f%%), "
@@ -183,7 +181,13 @@ void Run() {
 }  // namespace
 }  // namespace adios
 
-int main() {
-  adios::Run();
+int main(int argc, char** argv) {
+  const adios::BenchTraceArgs trace_args = adios::ParseBenchTraceArgs(argc, argv);
+  if (!trace_args.trace_only) {
+    adios::Run();
+  }
+  if (trace_args.enabled()) {
+    adios::TracedRun(trace_args);
+  }
   return 0;
 }

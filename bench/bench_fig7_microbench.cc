@@ -35,6 +35,19 @@ SystemConfig ConfigFor(const std::string& name) {
   return SystemConfig::Adios();
 }
 
+// One dedicated traced run at a mid-sweep Adios load point, exported as
+// Chrome trace-event JSON. Separate from the sweep so tracing capacity and
+// export cost never perturb the headline numbers.
+void TracedRun(const BenchTraceArgs& args) {
+  const BenchTiming timing = DefaultTiming();
+  ArrayApp app(Workload());
+  MdSystem sys(ConfigFor("Adios"), &app);
+  sys.tracer().Enable(1u << 20);
+  RunResult r = sys.Run(1.3e6, timing.warmup, timing.measure);
+  WarnTraceDrops(r);
+  ExportBenchTrace(sys, args);
+}
+
 void Run() {
   const BenchTiming timing = DefaultTiming();
   const std::vector<double> loads = MaybeThin(
@@ -88,7 +101,13 @@ void Run() {
 }  // namespace
 }  // namespace adios
 
-int main() {
-  adios::Run();
+int main(int argc, char** argv) {
+  const adios::BenchTraceArgs trace_args = adios::ParseBenchTraceArgs(argc, argv);
+  if (!trace_args.trace_only) {
+    adios::Run();
+  }
+  if (trace_args.enabled()) {
+    adios::TracedRun(trace_args);
+  }
   return 0;
 }

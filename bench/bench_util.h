@@ -8,6 +8,7 @@
 #define ADIOS_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "src/base/env.h"
 #include "src/base/table_printer.h"
 #include "src/core/md_system.h"
+#include "src/obs/trace_export.h"
 
 namespace adios {
 
@@ -114,6 +116,55 @@ inline void WriteBenchJson(const char* bench, const std::vector<BenchJsonRow>& r
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("wrote %s (%zu rows)\n", path.c_str(), rows.size());
+}
+
+// --- Perfetto / Chrome trace export (docs/OBSERVABILITY.md) ---
+//
+// Benches accepting these flags add one dedicated traced run and export it as
+// Chrome trace-event JSON (loadable in Perfetto or chrome://tracing):
+//
+//   --trace-out=FILE   write the traced run's JSON to FILE ("-" = stdout)
+//   --trace-only       skip the full sweep; only do the traced run (CI smoke)
+
+struct BenchTraceArgs {
+  std::string trace_out;  // Empty when --trace-out was not given.
+  bool trace_only = false;
+
+  bool enabled() const { return !trace_out.empty(); }
+};
+
+inline BenchTraceArgs ParseBenchTraceArgs(int argc, char** argv) {
+  BenchTraceArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      args.trace_out = arg.substr(std::strlen("--trace-out="));
+    } else if (arg == "--trace-only") {
+      args.trace_only = true;
+    } else {
+      std::printf("WARNING: ignoring unknown argument '%s'\n", arg.c_str());
+    }
+  }
+  if (args.trace_only && !args.enabled()) {
+    std::printf("WARNING: --trace-only without --trace-out=FILE; nothing to do\n");
+  }
+  return args;
+}
+
+// Exports `sys`'s trace stream (tracer().Enable must precede its Run) to
+// args.trace_out. Warns instead of aborting the bench on write failure.
+inline bool ExportBenchTrace(MdSystem& sys, const BenchTraceArgs& args) {
+  TraceExportOptions opts;
+  opts.system_name = sys.config().name;
+  opts.num_workers = sys.config().num_workers;
+  opts.num_nodes = sys.config().replication.num_nodes;
+  if (!ExportChromeTrace(sys.tracer(), opts, args.trace_out)) {
+    std::printf("WARNING: could not write trace to %s\n", args.trace_out.c_str());
+    return false;
+  }
+  std::printf("wrote Chrome trace JSON to %s (%zu records)\n", args.trace_out.c_str(),
+              sys.tracer().records().size());
+  return true;
 }
 
 // Call after printing a run's tables: a truncated trace must never read as a

@@ -36,6 +36,13 @@ struct CheckOptions {
   // must agree with its own counters.
   bool audit_frames = true;
 
+  // Audit the tracer's event stream (when a tracer is wired and enabled):
+  // per-request event grammar (arrive before dispatch before start, stalls
+  // close, nothing but fetch-pipeline events after done) incrementally at
+  // each audit, plus a termination check at the final audit — every kArrive
+  // reaches exactly one kDone, up to requests dropped at the RX ring.
+  bool audit_trace = true;
+
   // Simulated nanoseconds between periodic audits; 0 = only the final audit.
   uint64_t audit_interval_ns = 100'000;
 

@@ -30,8 +30,10 @@
 #define ADIOS_SRC_CHECK_INVARIANT_CHECKER_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "src/check/check_options.h"
@@ -41,6 +43,7 @@
 #include "src/mem/remote_heap.h"
 #include "src/rdma/fabric.h"
 #include "src/sim/engine.h"
+#include "src/sim/trace.h"
 #include "src/unithread/universal_stack.h"
 
 namespace adios {
@@ -54,6 +57,10 @@ class InvariantChecker {
     Reclaimer* reclaimer = nullptr; // Write-back half of frame conservation.
     RdmaFabric* fabric = nullptr;   // QP work-conservation audit.
     UnithreadPool* pool = nullptr;  // Universal-stack canary audit.
+    Tracer* tracer = nullptr;       // Trace-stream grammar/termination audit.
+    // Requests dropped at the RX ring (they get kArrive but never kDone);
+    // consulted by the final termination audit. Unset means "expect zero".
+    std::function<uint64_t()> rx_dropped;
   };
 
   struct Report {
@@ -75,8 +82,16 @@ class InvariantChecker {
   // observer. Call once, before the simulation starts.
   void Install();
 
-  // Runs every enabled audit immediately.
+  // Runs every enabled audit immediately (including the incremental trace
+  // ordering audit over records appended since the previous audit).
   void AuditNow();
+
+  // Final trace audit, to be run after the engine drained: every traced
+  // kArrive must have reached exactly one kDone, up to Deps::rx_dropped()
+  // requests dropped at the RX ring. Skipped (with no violation) when the
+  // tracer hit capacity — a truncated stream legitimately misses
+  // terminations.
+  void AuditTraceTermination();
 
   // Schedules audits every audit_interval_ns of simulated time, stopping at
   // `horizon` so Engine::Run() (which runs until the queue drains) still
@@ -98,6 +113,9 @@ class InvariantChecker {
   void AuditPageTableCounters();
   void AuditQpConservation();
   void AuditStacks();
+  // Incremental: validates records()[trace_cursor_..] and advances the
+  // cursor, so periodic audits stay O(total records) across a whole run.
+  void AuditTraceOrdering();
   void ScheduleNextAudit();
 
   void OnEvict(uint64_t vpage);
@@ -109,6 +127,20 @@ class InvariantChecker {
   Report report_;
   SimTime audit_horizon_ = 0;
   std::unordered_set<uint64_t> poisoned_;
+
+  // --- Trace-audit state (persists across incremental audits) ---
+  // Per-request lifecycle bits, keyed by request id.
+  enum TraceFlag : uint8_t {
+    kTraceArrived = 1,
+    kTraceDispatched = 2,
+    kTraceStarted = 4,
+    kTraceDone = 8,
+  };
+  std::unordered_map<uint64_t, uint8_t> trace_state_;
+  size_t trace_cursor_ = 0;
+  SimTime trace_last_time_ = 0;
+  uint64_t trace_arrived_ = 0;
+  uint64_t trace_done_ = 0;
   std::unique_ptr<SwitchDisciplineChecker> switch_checker_;
   bool installed_ = false;
 };

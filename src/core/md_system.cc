@@ -135,15 +135,44 @@ MdSystem::MdSystem(const SystemConfig& config, Application* app) : config_(confi
                                              dispatcher_cq, worker_ptrs, config_.sched,
                                              [this](Request* req) { drop_sink_(req); });
   dispatcher_->set_tracer(&tracer_);
+  dispatcher_->RegisterMetrics(&metrics_);
   for (auto& w : workers_) {
     w->set_dispatcher(dispatcher_.get());
     w->set_peers(worker_ptrs);
     w->set_tracer(&tracer_);
+    w->RegisterMetrics(&metrics_);
     if (config_.replication.enabled()) {
       w->set_placement(placement_.get());
       w->set_node_health(health_.get());
     }
   }
+  if (health_ != nullptr) {
+    health_->RegisterMetrics(&metrics_);
+  }
+  // Paging counters the memory manager already keeps, published by probe so
+  // the hot paths stay untouched.
+  metrics_.RegisterProbe("mem.faults", {},
+                         [this] { return static_cast<double>(mm_->stats().faults); });
+  metrics_.RegisterProbe("mem.shared_faults", {}, [this] {
+    return static_cast<double>(mm_->stats().shared_faults);
+  });
+  metrics_.RegisterProbe("mem.prefetches", {}, [this] {
+    return static_cast<double>(mm_->stats().prefetches);
+  });
+  metrics_.RegisterProbe("mem.prefetch_hits", {}, [this] {
+    return static_cast<double>(mm_->stats().prefetch_hits);
+  });
+  metrics_.RegisterProbe("mem.evictions_clean", {}, [this] {
+    return static_cast<double>(mm_->stats().evictions_clean);
+  });
+  metrics_.RegisterProbe("mem.evictions_dirty", {}, [this] {
+    return static_cast<double>(mm_->stats().evictions_dirty);
+  });
+  metrics_.RegisterProbe("mem.frame_stalls", {}, [this] {
+    return static_cast<double>(mm_->stats().frame_stalls);
+  });
+  metrics_.RegisterProbe("mem.free_frames", {},
+                         [this] { return static_cast<double>(mm_->free_frames()); });
 
   // --- Reclaimer ---
   CompletionQueue* reclaim_cq = fabric_->CreateCq();
@@ -185,6 +214,8 @@ MdSystem::MdSystem(const SystemConfig& config, Application* app) : config_(confi
     deps.reclaimer = reclaimer_.get();
     deps.fabric = fabric_.get();
     deps.pool = pool_.get();
+    deps.tracer = &tracer_;
+    deps.rx_dropped = [this] { return dispatcher_->stats().dropped; };
     checker_ = std::make_unique<InvariantChecker>(check_opts, deps);
     checker_->Install();
   }
@@ -207,6 +238,7 @@ RunResult MdSystem::Run(double offered_rps, SimDuration warmup_ns, SimDuration m
   opts.seed = config_.seed * 1315423911u + 7;
   loadgen_ = std::make_unique<LoadGenerator>(&engine_, fabric_.get(), dispatcher_.get(), app_,
                                              opts);
+  loadgen_->RegisterMetrics(&metrics_);
   reply_sink_ = [this](Request* req) { loadgen_->OnReply(req); };
   drop_sink_ = [this](Request* req) { loadgen_->OnDrop(req); };
 
@@ -238,6 +270,7 @@ RunResult MdSystem::Run(double offered_rps, SimDuration warmup_ns, SimDuration m
   RunningStats pf_mean_stats;
   RunningStats pf_stddev_stats;
   RunningStats queue_depth_stats;
+  std::vector<PfPoint> pf_points;  // Same cadence, kept for the timeline.
   const SimTime window_end_plan = warmup_ns + measure_ns;
   std::function<void()> sample = [&]() {
     if (engine_.now() >= window_end_plan) {
@@ -250,6 +283,7 @@ RunResult MdSystem::Run(double offered_rps, SimDuration warmup_ns, SimDuration m
     pf_mean_stats.Add(per_worker.mean());
     pf_stddev_stats.Add(per_worker.StdDev());
     queue_depth_stats.Add(static_cast<double>(dispatcher_->queue_depth()));
+    pf_points.push_back(PfPoint{engine_.now(), per_worker.mean()});
     engine_.Schedule(Microseconds(50), sample);
   };
   engine_.Schedule(Microseconds(50), sample);
@@ -259,6 +293,8 @@ RunResult MdSystem::Run(double offered_rps, SimDuration warmup_ns, SimDuration m
 
   if (checker_ != nullptr) {
     checker_->AuditNow();
+    // Drained state: every traced arrival must have terminated by now.
+    checker_->AuditTraceTermination();
     checker_->UnpoisonAll();
   }
 
@@ -340,6 +376,8 @@ RunResult MdSystem::Run(double offered_rps, SimDuration warmup_ns, SimDuration m
     r.busy_wait_fraction = static_cast<double>(busy_wait_ns) / static_cast<double>(busy_ns);
   }
   r.samples = loadgen_->samples();
+  r.metrics = metrics_.Snapshot();
+  r.timeline = BuildTimeSeries(r.samples, pf_points, warmup_ns, measure_ns, Microseconds(100));
   return r;
 }
 

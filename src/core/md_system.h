@@ -44,6 +44,9 @@ class MdSystem {
   Engine& engine() { return engine_; }
   // Per-request event tracing (call tracer().Enable(cap) before Run()).
   Tracer& tracer() { return tracer_; }
+  // Metric registry: workers, dispatcher, memory manager, node health, and
+  // the load generator publish here; Run() snapshots it into RunResult.
+  MetricRegistry& metrics() { return metrics_; }
   MemoryManager& memory_manager() { return *mm_; }
   RdmaFabric& fabric() { return *fabric_; }
   Dispatcher& dispatcher() { return *dispatcher_; }
@@ -68,6 +71,7 @@ class MdSystem {
   Application* app_;
   Engine engine_;
   Tracer tracer_;
+  MetricRegistry metrics_;
   std::unique_ptr<RemoteRegion> region_;
   std::unique_ptr<RemoteHeap> heap_;
   std::vector<std::unique_ptr<FaultInjector>> injectors_;  // One per node.

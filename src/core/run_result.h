@@ -9,6 +9,8 @@
 #include "src/base/histogram.h"
 #include "src/mem/memory_manager.h"
 #include "src/net/load_generator.h"
+#include "src/obs/metric_registry.h"
+#include "src/obs/time_series.h"
 
 namespace adios {
 
@@ -97,6 +99,14 @@ struct RunResult {
   uint64_t trace_drops = 0;
 
   std::vector<RequestSample> samples;
+
+  // End-of-run flattening of the metric registry (src/obs/metric_registry.h):
+  // every registered counter/gauge/histogram/probe, readable by name.
+  MetricsSnapshot metrics;
+
+  // Windowed telemetry across the measurement window (100 us windows):
+  // per-window throughput, p50/p99 latency, and outstanding page faults.
+  TimeSeries timeline;
 
   // Computes component breakdowns at the given server-latency percentiles.
   std::vector<BreakdownRow> Breakdown(const std::vector<double>& percentiles) const;

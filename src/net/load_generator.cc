@@ -21,6 +21,20 @@ void LoadGenerator::Start() {
   ScheduleNextArrival();
 }
 
+void LoadGenerator::RegisterMetrics(MetricRegistry* registry) {
+  for (uint32_t op = 0; op < app_->NumOpTypes(); ++op) {
+    const MetricLabels labels = MetricLabels::Op(app_->OpName(op));
+    op_completed_.push_back(registry->GetCounter("loadgen.completed", labels));
+    op_latency_.push_back(registry->GetHistogram("loadgen.e2e_ns", labels));
+  }
+  registry->RegisterProbe("loadgen.sent", {},
+                          [this] { return static_cast<double>(sent_); });
+  registry->RegisterProbe("loadgen.failed", {},
+                          [this] { return static_cast<double>(failed_); });
+  registry->RegisterProbe("loadgen.dropped", {},
+                          [this] { return static_cast<double>(dropped_); });
+}
+
 void LoadGenerator::ScheduleNextArrival() {
   const double mean_gap_ns = 1e9 / options_.rate_rps;
   const SimDuration gap =
@@ -68,10 +82,15 @@ void LoadGenerator::OnReply(Request* req) {
     if (req->op < e2e_per_op_.size()) {
       e2e_per_op_[req->op].Add(req->E2eNs());
     }
+    if (req->op < op_completed_.size()) {
+      op_completed_[req->op]->Inc();
+      op_latency_[req->op]->Observe(req->E2eNs());
+    }
     server_.Add(req->ServerNs());
     queue_.Add(req->QueueNs());
     if (samples_.size() < options_.max_samples) {
       RequestSample s;
+      s.id = req->id;
       s.op = req->op;
       s.finish_ns = req->reply_time;
       s.e2e_ns = req->E2eNs();

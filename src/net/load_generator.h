@@ -16,26 +16,13 @@
 #include "src/apps/application.h"
 #include "src/base/histogram.h"
 #include "src/base/rng.h"
+#include "src/obs/metric_registry.h"
+#include "src/obs/sample.h"
 #include "src/rdma/fabric.h"
 #include "src/sched/dispatcher.h"
 #include "src/sim/engine.h"
 
 namespace adios {
-
-// Compact per-request component record kept for breakdown analysis
-// (Figs. 2(b,c), 7(c)).
-struct RequestSample {
-  uint32_t op = 0;
-  uint64_t finish_ns = 0;  // Simulated time the reply landed (timeline binning).
-  uint64_t e2e_ns = 0;
-  uint64_t server_ns = 0;  // arrive -> finish at the compute node.
-  uint64_t queue_ns = 0;   // arrive -> handler start.
-  uint64_t handle_ns = 0;  // handler start -> finish (includes rdma+tx waits).
-  uint64_t rdma_ns = 0;    // blocked on own fetches.
-  uint64_t busy_ns = 0;    // busy-waiting portion.
-  uint64_t tx_ns = 0;      // synchronous TX wait.
-  uint32_t faults = 0;
-};
 
 class LoadGenerator {
  public:
@@ -54,6 +41,10 @@ class LoadGenerator {
                 const Options& options);
 
   void Start();
+
+  // Publishes per-op completion counters (labeled {op=name}) plus sent /
+  // failed / dropped probes. Call before Start().
+  void RegisterMetrics(MetricRegistry* registry);
 
   // Reply delivered back at the generator (wired as the send's delivery
   // callback). Records stats and frees the request.
@@ -110,6 +101,11 @@ class LoadGenerator {
   Histogram server_;
   Histogram queue_;
   std::vector<RequestSample> samples_;
+
+  // Owned metric handles (null until RegisterMetrics): per-op completion
+  // counters and per-op e2e latency histograms, bumped on each good reply.
+  std::vector<Counter*> op_completed_;
+  std::vector<HistogramMetric*> op_latency_;
 };
 
 }  // namespace adios

@@ -27,6 +27,20 @@ NodeHealthMonitor::NodeHealthMonitor(Engine* engine, const ReplicationConfig& co
   ADIOS_CHECK(config.probe_interval_ns > 0);
 }
 
+void NodeHealthMonitor::RegisterMetrics(MetricRegistry* registry) {
+  for (uint32_t node = 0; node < num_nodes(); ++node) {
+    registry->RegisterProbe("node.health", MetricLabels::Node(node), [this, node] {
+      return static_cast<double>(static_cast<uint8_t>(StateOf(node)));
+    });
+  }
+  registry->RegisterProbe("node.suspect_events", {},
+                          [this] { return static_cast<double>(suspect_events_); });
+  registry->RegisterProbe("node.dead_events", {},
+                          [this] { return static_cast<double>(dead_events_); });
+  registry->RegisterProbe("node.recoveries", {},
+                          [this] { return static_cast<double>(recoveries_); });
+}
+
 void NodeHealthMonitor::Decay(NodeState& ns, SimTime now) const {
   if (ns.score_time == now) {
     return;

@@ -29,6 +29,7 @@
 
 #include "src/base/check.h"
 #include "src/base/time.h"
+#include "src/obs/metric_registry.h"
 #include "src/sim/engine.h"
 
 namespace adios {
@@ -115,6 +116,10 @@ class NodeHealthMonitor {
   uint64_t suspect_events() const { return suspect_events_; }
   uint64_t dead_events() const { return dead_events_; }
   uint64_t recoveries() const { return recoveries_; }
+
+  // Publishes per-node health state (as the NodeHealth enum value) and the
+  // transition counters as probes labeled {node=n}.
+  void RegisterMetrics(MetricRegistry* registry);
 
  private:
   struct NodeState {

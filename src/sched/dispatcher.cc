@@ -23,6 +23,21 @@ void Dispatcher::Start() {
   engine_->SpawnFiber("dispatcher", [this] { Loop(); });
 }
 
+void Dispatcher::RegisterMetrics(MetricRegistry* registry) {
+  registry->RegisterProbe("dispatcher.received", {},
+                          [this] { return static_cast<double>(stats_.received); });
+  registry->RegisterProbe("dispatcher.dropped", {},
+                          [this] { return static_cast<double>(stats_.dropped); });
+  registry->RegisterProbe("dispatcher.dispatched", {},
+                          [this] { return static_cast<double>(stats_.dispatched); });
+  registry->RegisterProbe("dispatcher.buffers_recycled", {},
+                          [this] { return static_cast<double>(stats_.buffers_recycled); });
+  registry->RegisterProbe("dispatcher.max_queue_depth", {},
+                          [this] { return static_cast<double>(stats_.max_queue_depth); });
+  registry->RegisterProbe("dispatcher.queue_depth", {},
+                          [this] { return static_cast<double>(queue_depth()); });
+}
+
 void Dispatcher::OnRx(Request* req) {
   req->arrive_time = engine_->now();
   ++stats_.received;

@@ -56,6 +56,8 @@ class Dispatcher {
   const Stats& stats() const { return stats_; }
   size_t queue_depth() const { return queue_.size() + rx_ring_.size(); }
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  // Publishes the dispatcher's counters and queue depth as probes.
+  void RegisterMetrics(MetricRegistry* registry);
 
  private:
   void Loop();

@@ -141,17 +141,20 @@ void Worker::RunItemNow(RunItem* item) {
   if (!item->started) {
     item->started = true;
     item->req->start_time = engine_->now();
+    // kStart carries the same timestamp as req->start_time (the span
+    // builder's queue segment must equal RequestSample::queue_ns), so it is
+    // recorded before the kernel RX-path charge below.
+    if (tracer_ != nullptr) {
+      tracer_->Record(engine_->now(), item->req->id, TraceEvent::kStart, index_);
+    }
     if (cfg_.kernel_request_extra_cycles > 0) {
       // Kernel-based system: socket/syscall RX path before the handler runs.
       core_->Consume(cfg_.kernel_request_extra_cycles);
     }
+  } else if (tracer_ != nullptr) {
+    tracer_->Record(engine_->now(), item->req->id, TraceEvent::kResume, index_);
   }
   item->quantum_start = engine_->now();
-  if (tracer_ != nullptr) {
-    tracer_->Record(engine_->now(), item->req->id,
-                    item->ctx()->switch_count == 0 ? TraceEvent::kStart : TraceEvent::kResume,
-                    index_);
-  }
   ctx->state = ContextState::kRunning;
   ++ctx->switch_count;
   engine_->RawSwitch(fiber_ctx_, ctx);
@@ -189,6 +192,11 @@ void Worker::FinishRequest(RunItem* item) {
     // Synchronous transmission: busy-wait for our send CQE, then recycle the
     // buffer ourselves. This is the HOL-blocking path Fig. 9 quantifies.
     const SimTime t0 = engine_->now();
+    // [kTxWait, kDone] brackets exactly the interval accumulated into
+    // req->tx_wait_ns, so the span's tx segment equals RequestSample::tx_ns.
+    if (tracer_ != nullptr) {
+      tracer_->Record(t0, req->id, TraceEvent::kTxWait);
+    }
     const uint64_t busy0 = core_->busy_ns();
     CompletionQueue* cq = client_qp_->cq();
     bool seen = false;
@@ -221,6 +229,30 @@ void Worker::FinishRequest(RunItem* item) {
   if (tracer_ != nullptr) {
     tracer_->Record(engine_->now(), req->id, TraceEvent::kDone, index_);
   }
+}
+
+void Worker::RegisterMetrics(MetricRegistry* registry) {
+  const MetricLabels labels = MetricLabels::Worker(index_);
+  // Probes over counters the worker already keeps: zero hot-path cost, no
+  // double bookkeeping.
+  registry->RegisterProbe("worker.completed", labels,
+                          [this] { return static_cast<double>(completed_); });
+  registry->RegisterProbe("worker.yields", labels,
+                          [this] { return static_cast<double>(yields_); });
+  registry->RegisterProbe("worker.steals", labels,
+                          [this] { return static_cast<double>(steals_); });
+  registry->RegisterProbe("worker.preempt_fires", labels,
+                          [this] { return static_cast<double>(preempt_fires_); });
+  registry->RegisterProbe("worker.qp_full_stalls", labels,
+                          [this] { return static_cast<double>(qp_full_stalls_); });
+  registry->RegisterProbe("worker.fetch_timeouts", labels,
+                          [this] { return static_cast<double>(fetch_timeouts_); });
+  registry->RegisterProbe("worker.fetch_retries", labels,
+                          [this] { return static_cast<double>(fetch_retries_); });
+  registry->RegisterProbe("worker.failovers", labels,
+                          [this] { return static_cast<double>(failovers_); });
+  registry->RegisterProbe("worker.outstanding_faults", labels,
+                          [this] { return static_cast<double>(OutstandingFaults()); });
 }
 
 void Worker::Access(RemoteAddr addr, uint64_t len, bool write) {
@@ -450,7 +482,7 @@ void Worker::AccessPage(uint64_t vpage, bool write) {
         if (mm_->StateOf(vpage) != PageState::kRemote) {
           continue;  // Raced with another fault during the trap.
         }
-        WaitForFreeFrame();
+        WaitForFreeFrame(vpage);
         if (mm_->StateOf(vpage) != PageState::kRemote) {
           continue;
         }
@@ -477,11 +509,17 @@ void Worker::AccessPage(uint64_t vpage, bool write) {
   }
 }
 
-void Worker::WaitForFreeFrame() {
+void Worker::WaitForFreeFrame(uint64_t vpage) {
   if (mm_->HasFreeFrame()) {
     return;
   }
   ++mm_->stats().frame_stalls;
+  // The frame wait is its own span segment: it is memory pressure, not fetch
+  // latency, so it must not blend into the exec or fetch-stall time.
+  if (tracer_ != nullptr) {
+    tracer_->Record(engine_->now(), running_->req->id, TraceEvent::kFrameStall,
+                    static_cast<uint32_t>(vpage));
+  }
   const bool busy_policy = cfg_.fault_policy == FaultPolicy::kBusyWait ||
                            cfg_.fault_policy == FaultPolicy::kKernelBusyWait;
   if (!busy_policy) {
@@ -502,6 +540,9 @@ void Worker::WaitForFreeFrame() {
       engine_->RawSwitch(ctx, item->home->fiber_ctx_);
       // Resumed on a frame release; re-check (it may be gone again).
     }
+    if (tracer_ != nullptr) {
+      tracer_->Record(engine_->now(), item->req->id, TraceEvent::kFrameStallDone);
+    }
     return;
   }
   // Busy-waiting policies run one request per worker to completion, so the
@@ -520,6 +561,9 @@ void Worker::WaitForFreeFrame() {
   const uint64_t consumed = core_->busy_ns() - busy0;
   core_->AccountBusyWait(waited > consumed ? waited - consumed : 0);
   running_->req->busy_wait_ns += waited;
+  if (tracer_ != nullptr) {
+    tracer_->Record(engine_->now(), running_->req->id, TraceEvent::kFrameStallDone);
+  }
 }
 
 void Worker::PostReadWithBackpressure(uint64_t vpage) {
@@ -640,6 +684,12 @@ void Worker::BlockOnFetch(uint64_t vpage) {
   RunItem* item = running_;
   Request* req = item->req;
   const SimTime t0 = engine_->now();
+  // kStall/kStallDone bracket exactly the interval accumulated into
+  // req->rdma_wait_ns below, so the span builder's fetch-stall segment
+  // reconciles with RequestSample::rdma_ns to the nanosecond.
+  if (tracer_ != nullptr) {
+    tracer_->Record(t0, req->id, TraceEvent::kStall, static_cast<uint32_t>(vpage));
+  }
 
   if (cfg_.fault_policy == FaultPolicy::kYield ||
       cfg_.fault_policy == FaultPolicy::kKernelYield) {
@@ -699,6 +749,9 @@ void Worker::BlockOnFetch(uint64_t vpage) {
     const uint64_t consumed = core_->busy_ns() - busy0;  // Poll/map cycles counted already.
     core_->AccountBusyWait(waited > consumed ? waited - consumed : 0);
     req->busy_wait_ns += waited;
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Record(engine_->now(), req->id, TraceEvent::kStallDone);
   }
   req->rdma_wait_ns += engine_->now() - t0;
 }

@@ -28,6 +28,7 @@
 #include "src/mem/memory_manager.h"
 #include "src/mem/prefetcher.h"
 #include "src/mem/remote_heap.h"
+#include "src/obs/metric_registry.h"
 #include "src/rdma/fabric.h"
 #include "src/rdma/node_health.h"
 #include "src/sched/config.h"
@@ -119,6 +120,8 @@ class Worker final : public WorkerApi {
 
   void set_region(RemoteRegion* region) { region_ = region; }
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  // Publishes the worker's counters as probes labeled {worker=index}.
+  void RegisterMetrics(MetricRegistry* registry);
   // Replication wiring (both null on a single-node system: the fetch path
   // then always targets node 0 and never consults health state).
   void set_placement(PlacementMap* placement) { placement_ = placement; }
@@ -133,7 +136,7 @@ class Worker final : public WorkerApi {
   void FinishRequest(RunItem* item);
   void AccessPage(uint64_t vpage, bool write);
   void BlockOnFetch(uint64_t vpage);
-  void WaitForFreeFrame();
+  void WaitForFreeFrame(uint64_t vpage);
   void PostReadWithBackpressure(uint64_t vpage);
   // Posts the demand READ for `vpage` plus the prefetcher's candidates —
   // doorbell-batched when enabled, one doorbell each otherwise (the

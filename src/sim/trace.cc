@@ -36,6 +36,16 @@ const char* TraceEventName(TraceEvent ev) {
       return "prefetch";
     case TraceEvent::kPrefetchHit:
       return "prefetch-hit";
+    case TraceEvent::kStall:
+      return "stall";
+    case TraceEvent::kStallDone:
+      return "stall-done";
+    case TraceEvent::kFrameStall:
+      return "frame-stall";
+    case TraceEvent::kFrameStallDone:
+      return "frame-stall-done";
+    case TraceEvent::kTxWait:
+      return "tx-wait";
   }
   return "?";
 }
@@ -71,7 +81,8 @@ void Tracer::PrintTimeline(uint64_t request_id, std::FILE* out) const {
         e.event == TraceEvent::kResume) {
       std::fprintf(out, " worker=%u", e.arg);
     } else if (e.event == TraceEvent::kFault || e.event == TraceEvent::kFetchTimeout ||
-               e.event == TraceEvent::kPrefetch || e.event == TraceEvent::kPrefetchHit) {
+               e.event == TraceEvent::kPrefetch || e.event == TraceEvent::kPrefetchHit ||
+               e.event == TraceEvent::kStall || e.event == TraceEvent::kFrameStall) {
       std::fprintf(out, " page=%u", e.arg);
     } else if (e.event == TraceEvent::kRetry) {
       std::fprintf(out, " attempt=%u", e.arg);

@@ -38,15 +38,34 @@ enum class TraceEvent : uint8_t {
   // Prefetching (docs/PREFETCH.md).
   kPrefetch = 14,     // Prefetch READ posted alongside a demand fault (arg = page).
   kPrefetchHit = 15,  // Access hit a prefetched page before eviction (arg = page).
+  // Span boundaries (docs/OBSERVABILITY.md): the exact instants a request's
+  // unithread stops and resumes consuming its own wall clock, recorded so the
+  // span builder can partition [arrive, done] into queue/exec/stall/tx
+  // segments that reconcile with RequestSample's component latencies.
+  kStall = 16,          // Blocked on a page fetch (arg = page); see kStallDone.
+  kStallDone = 17,      // The fetch wait ended (handler resumed / spin ended).
+  kFrameStall = 18,     // Waiting for a free local frame (arg = page wanted).
+  kFrameStallDone = 19, // Frame wait over; the fault proceeds.
+  kTxWait = 20,         // Synchronous reply-TX wait began (non-delegated path).
 };
 
 const char* TraceEventName(TraceEvent ev);
+
+// One past the highest TraceEvent value (for exhaustive-name tests and
+// per-event tables).
+inline constexpr uint8_t kNumTraceEvents = 21;
 
 struct TraceRecord {
   SimTime time = 0;
   uint64_t request_id = 0;
   TraceEvent event = TraceEvent::kArrive;
   uint32_t arg = 0;
+
+  friend bool operator==(const TraceRecord& a, const TraceRecord& b) {
+    return a.time == b.time && a.request_id == b.request_id && a.event == b.event &&
+           a.arg == b.arg;
+  }
+  friend bool operator!=(const TraceRecord& a, const TraceRecord& b) { return !(a == b); }
 };
 
 class Tracer {

@@ -1,0 +1,111 @@
+// Trace-integrity property test (docs/OBSERVABILITY.md).
+//
+// Randomized-but-deterministic trials across systems, seeds, prefetching,
+// and fault injection. For every trial the flat trace stream must fold into
+// legal spans (event grammar holds, segments tile [arrive, done]), every
+// arrived request must terminate, the span components must reconcile with
+// the load generator's per-request samples, and the percentile breakdown's
+// components can never exceed its total. The runtime invariant checker runs
+// live too, so its incremental trace audit sees the same streams.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/apps/array_app.h"
+#include "src/base/table_printer.h"
+#include "src/core/md_system.h"
+#include "src/obs/span_builder.h"
+
+namespace adios {
+namespace {
+
+SystemConfig PickConfig(uint64_t choice) {
+  switch (choice % 4) {
+    case 0:
+      return SystemConfig::Adios();
+    case 1:
+      return SystemConfig::DiLOS();
+    case 2:
+      return SystemConfig::DiLOSP();
+    default:
+      return SystemConfig::Hermit();
+  }
+}
+
+TEST(TraceIntegrity, RandomizedRunsFoldReconcileAndTerminate) {
+  // Deterministic PRNG: the trial set is random-looking but reproducible.
+  std::mt19937_64 rng(0xad105);
+  for (int trial = 0; trial < 8; ++trial) {
+    SystemConfig cfg = PickConfig(rng());
+    cfg.seed = rng() % 100000 + 1;
+    const bool prefetch = rng() % 2 == 0;
+    const bool fault = rng() % 2 == 0;
+    if (prefetch) {
+      cfg.sched.prefetch_window = 4 + rng() % 8;
+    }
+    if (fault) {
+      cfg.fault.read_loss_rate = 0.002;
+      cfg.fault.nack_rate = 0.001;
+    }
+    cfg.check.enabled = true;  // Live audits, including the trace audit.
+    SCOPED_TRACE(StrFormat("trial=%d system=%s seed=%llu prefetch=%d fault=%d", trial,
+                           cfg.name.c_str(), static_cast<unsigned long long>(cfg.seed),
+                           prefetch ? 1 : 0, fault ? 1 : 0));
+
+    ArrayApp::Options ao;
+    ao.entries = 1 << 14;
+    ArrayApp app(ao);
+    MdSystem sys(cfg, &app);
+    sys.tracer().Enable(1 << 21);
+    RunResult r = sys.Run(250000, Milliseconds(1), Milliseconds(3));
+    ASSERT_EQ(sys.tracer().dropped(), 0u);
+    ASSERT_GT(r.completed, 0u);
+
+    // The checker's own incremental grammar + termination audits stayed
+    // clean (they would have aborted the run under fatal mode otherwise).
+    ASSERT_NE(sys.invariant_checker(), nullptr);
+    EXPECT_EQ(sys.invariant_checker()->report().violations, 0u);
+
+    // Folding finds no grammar violations.
+    SpanTimeline tl = BuildSpans(sys.tracer());
+    for (const std::string& p : tl.problems) {
+      ADD_FAILURE() << "span grammar: " << p;
+    }
+
+    // Every request that arrived terminates: the only legal incomplete
+    // spans belong to requests the dispatcher dropped at the RX ring.
+    uint64_t incomplete = 0;
+    for (const RequestSpan& s : tl.spans) {
+      if (!s.completed) {
+        ++incomplete;
+      } else {
+        // Segments tile [arrive, done] exactly.
+        EXPECT_EQ(s.ComponentSumNs(), s.TotalNs())
+            << "request " << s.request_id << " component sum != total";
+      }
+    }
+    EXPECT_EQ(incomplete, r.dropped);
+
+    // Span components reconcile with the samples the benches aggregate.
+    for (const std::string& m : ReconcileSpans(tl, r.samples)) {
+      ADD_FAILURE() << "reconcile: " << m;
+    }
+
+    // Breakdown components never exceed the total at any percentile. Note
+    // rdma and busy-wait overlap under busy-wait policies (the spin IS the
+    // fetch wait), so they are bounded individually, not summed.
+    for (const BreakdownRow& row : r.Breakdown({1, 10, 25, 50, 75, 90, 99, 99.9})) {
+      EXPECT_LE(row.queue_ns, row.total_ns);
+      EXPECT_LE(row.handle_ns, row.total_ns);
+      EXPECT_LE(row.queue_ns + row.handle_ns, row.total_ns);
+      EXPECT_LE(std::max(row.rdma_ns, row.busy_wait_ns) + row.tx_wait_ns, row.handle_ns);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adios

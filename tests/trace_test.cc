@@ -27,6 +27,33 @@ TEST(Tracer, CapacityBounds) {
   EXPECT_EQ(t.dropped(), 0u);
 }
 
+TEST(Tracer, CapacityZeroEnableDropsEverything) {
+  Tracer t;
+  t.Enable(0);  // Legal: tracing "on" purely to count the would-be volume.
+  EXPECT_TRUE(t.enabled());
+  for (int i = 0; i < 5; ++i) {
+    t.Record(static_cast<SimTime>(i), 1, TraceEvent::kArrive);
+  }
+  EXPECT_TRUE(t.records().empty());
+  EXPECT_EQ(t.dropped(), 5u);
+}
+
+TEST(Tracer, ReEnableClearsRecordsAndDrops) {
+  Tracer t;
+  t.Enable(2);
+  t.Record(1, 1, TraceEvent::kArrive);
+  t.Record(2, 1, TraceEvent::kDone);
+  t.Record(3, 2, TraceEvent::kArrive);  // At capacity: dropped.
+  ASSERT_EQ(t.records().size(), 2u);
+  ASSERT_EQ(t.dropped(), 1u);
+  t.Enable(8);  // Fresh stream: no stale records, no stale drop count.
+  EXPECT_TRUE(t.records().empty());
+  EXPECT_EQ(t.dropped(), 0u);
+  t.Record(4, 3, TraceEvent::kArrive);
+  ASSERT_EQ(t.records().size(), 1u);
+  EXPECT_EQ(t.records()[0].request_id, 3u);
+}
+
 TEST(Tracer, ForRequestFilters) {
   Tracer t;
   t.Enable(16);
@@ -39,8 +66,35 @@ TEST(Tracer, ForRequestFilters) {
   EXPECT_EQ(recs[1].event, TraceEvent::kDone);
 }
 
+TEST(Tracer, ForRequestPreservesOrderUnderInterleavedIds) {
+  Tracer t;
+  t.Enable(32);
+  // Three requests interleaved the way concurrent unithreads interleave.
+  t.Record(1, 10, TraceEvent::kArrive);
+  t.Record(2, 11, TraceEvent::kArrive);
+  t.Record(3, 10, TraceEvent::kStart, 0);
+  t.Record(4, 12, TraceEvent::kArrive);
+  t.Record(5, 11, TraceEvent::kStart, 1);
+  t.Record(6, 10, TraceEvent::kFault, 99);
+  t.Record(7, 12, TraceEvent::kStart, 2);
+  t.Record(8, 10, TraceEvent::kDone);
+  t.Record(9, 11, TraceEvent::kDone);
+  const auto recs = t.ForRequest(10);
+  ASSERT_EQ(recs.size(), 4u);
+  const TraceEvent expect[] = {TraceEvent::kArrive, TraceEvent::kStart, TraceEvent::kFault,
+                               TraceEvent::kDone};
+  SimTime prev = 0;
+  for (size_t i = 0; i < recs.size(); ++i) {
+    EXPECT_EQ(recs[i].event, expect[i]);
+    EXPECT_EQ(recs[i].request_id, 10u);
+    EXPECT_GT(recs[i].time, prev);
+    prev = recs[i].time;
+  }
+  EXPECT_TRUE(t.ForRequest(999).empty());
+}
+
 TEST(Tracer, EventNamesComplete) {
-  for (uint8_t e = 0; e <= static_cast<uint8_t>(TraceEvent::kRetry); ++e) {
+  for (uint8_t e = 0; e < kNumTraceEvents; ++e) {
     EXPECT_STRNE(TraceEventName(static_cast<TraceEvent>(e)), "?");
   }
 }
