@@ -7,6 +7,7 @@
 #ifndef ADIOS_BENCH_BENCH_UTIL_H_
 #define ADIOS_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -91,6 +92,15 @@ inline BenchJsonRow JsonRowOf(const std::string& label, const RunResult& r) {
   row.goodput_rps = r.goodput_rps;
   row.p50_ns = r.e2e.P50();
   row.p99_ns = r.e2e.P99();
+  if (r.ctrl.enabled) {
+    // Controller decisions ride along as extras so plots of an overload
+    // sweep can correlate goodput with the drops that protected it.
+    row.extra.emplace_back("admit_drops", static_cast<double>(r.ctrl.admit_drops));
+    row.extra.emplace_back("shed_drops", static_cast<double>(r.ctrl.shed_drops));
+    row.extra.emplace_back("scale_ups", static_cast<double>(r.ctrl.scale_ups));
+    row.extra.emplace_back("scale_downs", static_cast<double>(r.ctrl.scale_downs));
+    row.extra.emplace_back("mean_active_workers", r.ctrl.mean_active_workers);
+  }
   return row;
 }
 
@@ -101,15 +111,26 @@ inline void WriteBenchJson(const char* bench, const std::vector<BenchJsonRow>& r
     std::printf("WARNING: could not write %s\n", path.c_str());
     return;
   }
+  // NaN/inf have no JSON encoding and %g would emit literal "nan"/"inf",
+  // producing a file no parser accepts — reject them to null and warn.
+  auto number_or_null = [bench](const char* key, double v) -> std::string {
+    if (!std::isfinite(v)) {
+      std::printf("WARNING: BENCH_%s.json: non-finite value for \"%s\" written as null\n",
+                  bench, key);
+      return "null";
+    }
+    return StrFormat("%g", v);
+  };
   std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n", bench);
   for (size_t i = 0; i < rows.size(); ++i) {
     const BenchJsonRow& row = rows[i];
-    std::fprintf(f, "    {\"label\": \"%s\", \"goodput_rps\": %.1f, \"p50_us\": %.3f, "
+    std::fprintf(f, "    {\"label\": \"%s\", \"goodput_rps\": %s, \"p50_us\": %.3f, "
                  "\"p99_us\": %.3f",
-                 row.label.c_str(), row.goodput_rps, static_cast<double>(row.p50_ns) / 1000.0,
+                 row.label.c_str(), number_or_null("goodput_rps", row.goodput_rps).c_str(),
+                 static_cast<double>(row.p50_ns) / 1000.0,
                  static_cast<double>(row.p99_ns) / 1000.0);
     for (const auto& [key, value] : row.extra) {
-      std::fprintf(f, ", \"%s\": %g", key.c_str(), value);
+      std::fprintf(f, ", \"%s\": %s", key.c_str(), number_or_null(key.c_str(), value).c_str());
     }
     std::fprintf(f, "}%s\n", i + 1 == rows.size() ? "" : ",");
   }

@@ -132,7 +132,20 @@ void InvariantChecker::AuditTraceOrdering() {
       case TraceEvent::kNodeSuspect:
       case TraceEvent::kNodeDead:
       case TraceEvent::kResilverDone:
-        violation(rec, "node-level event with a nonzero request id");
+      case TraceEvent::kScale:
+        violation(rec, "system-level event with a nonzero request id");
+        break;
+      // Overload-control drops (docs/OVERLOAD.md) are terminal at arrival:
+      // the request was traced in (kArrive), then rejected before entering
+      // the RX ring, so it must never dispatch, start, or complete. The
+      // dispatcher counts these drops in rx_dropped, which is how the
+      // termination audit below still balances.
+      case TraceEvent::kAdmit:
+      case TraceEvent::kShed:
+        if ((st & kTraceArrived) == 0 || (st & kTraceDispatched) != 0 ||
+            (st & kTraceDone) != 0) {
+          violation(rec, "overload drop outside [arrive, dispatch)");
+        }
         break;
       default:
         // Every in-handler event (faults, stalls, resumes, preemptions,

@@ -149,6 +149,18 @@ MdSystem::MdSystem(const SystemConfig& config, Application* app) : config_(confi
   if (health_ != nullptr) {
     health_->RegisterMetrics(&metrics_);
   }
+
+  // --- Overload control (docs/OVERLOAD.md) ---
+  // Built after the dispatcher and workers registered their probes: the
+  // controller reads dispatcher.queue_depth and worker.outstanding_faults
+  // through the registry on each tick.
+  if (config_.ctrl.enabled()) {
+    ctrl_ = std::make_unique<OverloadController>(&engine_, config_.ctrl, config_.num_workers,
+                                                 &metrics_);
+    ctrl_->set_tracer(&tracer_);
+    ctrl_->RegisterMetrics(&metrics_);
+    dispatcher_->set_ctrl(ctrl_.get());
+  }
   // Paging counters the memory manager already keeps, published by probe so
   // the hot paths stay untouched.
   metrics_.RegisterProbe("mem.faults", {},
@@ -249,6 +261,11 @@ RunResult MdSystem::Run(double offered_rps, SimDuration warmup_ns, SimDuration m
   }
   reclaimer_->Start();
   loadgen_->Start();
+  if (ctrl_ != nullptr) {
+    // Shed/scale ticks stop rescheduling at the window end, like the
+    // checker's audits, so the drain phase terminates.
+    ctrl_->Start(warmup_ns + measure_ns);
+  }
   if (checker_ != nullptr) {
     // Audits stop rescheduling at the planned window end so the drain phase
     // (Engine::Run runs until the queue empties) can terminate; a final
@@ -271,6 +288,8 @@ RunResult MdSystem::Run(double offered_rps, SimDuration warmup_ns, SimDuration m
   RunningStats pf_stddev_stats;
   RunningStats queue_depth_stats;
   std::vector<PfPoint> pf_points;  // Same cadence, kept for the timeline.
+  RunningStats active_worker_stats;       // Ctrl runs only (docs/OVERLOAD.md).
+  std::vector<PfPoint> active_points;     // Active-worker level, same cadence.
   const SimTime window_end_plan = warmup_ns + measure_ns;
   std::function<void()> sample = [&]() {
     if (engine_.now() >= window_end_plan) {
@@ -284,6 +303,11 @@ RunResult MdSystem::Run(double offered_rps, SimDuration warmup_ns, SimDuration m
     pf_stddev_stats.Add(per_worker.StdDev());
     queue_depth_stats.Add(static_cast<double>(dispatcher_->queue_depth()));
     pf_points.push_back(PfPoint{engine_.now(), per_worker.mean()});
+    if (ctrl_ != nullptr) {
+      const double active = static_cast<double>(ctrl_->active_workers());
+      active_worker_stats.Add(active);
+      active_points.push_back(PfPoint{engine_.now(), active});
+    }
     engine_.Schedule(Microseconds(50), sample);
   };
   engine_.Schedule(Microseconds(50), sample);
@@ -375,9 +399,19 @@ RunResult MdSystem::Run(double offered_rps, SimDuration warmup_ns, SimDuration m
   if (busy_ns > 0) {
     r.busy_wait_fraction = static_cast<double>(busy_wait_ns) / static_cast<double>(busy_ns);
   }
+  if (ctrl_ != nullptr) {
+    r.ctrl.enabled = true;
+    r.ctrl.admit_drops = ctrl_->admit_drops();
+    r.ctrl.shed_drops = ctrl_->shed_drops();
+    r.ctrl.shed_engagements = ctrl_->shed_engagements();
+    r.ctrl.scale_ups = ctrl_->scale_ups();
+    r.ctrl.scale_downs = ctrl_->scale_downs();
+    r.ctrl.mean_active_workers = active_worker_stats.mean();
+  }
   r.samples = loadgen_->samples();
   r.metrics = metrics_.Snapshot();
   r.timeline = BuildTimeSeries(r.samples, pf_points, warmup_ns, measure_ns, Microseconds(100));
+  AttachActiveWorkers(r.timeline, active_points);
   return r;
 }
 

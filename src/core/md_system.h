@@ -14,6 +14,7 @@
 #include "src/check/invariant_checker.h"
 #include "src/core/run_result.h"
 #include "src/core/system_config.h"
+#include "src/ctrl/overload_control.h"
 #include "src/mem/memory_manager.h"
 #include "src/mem/reclaimer.h"
 #include "src/net/load_generator.h"
@@ -62,6 +63,8 @@ class MdSystem {
   NodeHealthMonitor* node_health() { return health_.get(); }
   // Null unless config.check.enabled or the ADIOS_CHECKS=1 env var is set.
   InvariantChecker* invariant_checker() { return checker_.get(); }
+  // Null unless config.ctrl.enabled() (docs/OVERLOAD.md).
+  OverloadController* overload_controller() { return ctrl_.get(); }
   std::vector<std::unique_ptr<Worker>>& workers() { return workers_; }
   RemoteRegion& region() { return *region_; }
   const SystemConfig& config() const { return config_; }
@@ -85,6 +88,7 @@ class MdSystem {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::unique_ptr<UnithreadPool> pool_;
   std::unique_ptr<Dispatcher> dispatcher_;
+  std::unique_ptr<OverloadController> ctrl_;
   std::unique_ptr<Reclaimer> reclaimer_;
   std::unique_ptr<LoadGenerator> loadgen_;
   std::unique_ptr<InvariantChecker> checker_;

@@ -93,6 +93,19 @@ struct RunResult {
   uint64_t replica_divergence = 0;   // Replica slots still out of sync at run end.
   uint64_t divergence_events = 0;    // Cumulative slots that ever went out of sync.
 
+  // --- Overload control (docs/OVERLOAD.md; enabled=false and all zero when
+  // SystemConfig.ctrl is off) ---
+  struct CtrlStats {
+    bool enabled = false;
+    uint64_t admit_drops = 0;       // Token-bucket rejections at arrival.
+    uint64_t shed_drops = 0;        // Rejections while shedding was engaged.
+    uint64_t shed_engagements = 0;  // Off->on transitions of the shedder.
+    uint64_t scale_ups = 0;         // Active-worker-set growth steps.
+    uint64_t scale_downs = 0;
+    double mean_active_workers = 0.0;  // Sampled at the 50 us telemetry cadence.
+  };
+  CtrlStats ctrl;
+
   // Trace records dropped at the tracer's capacity (0 unless tracing was
   // enabled with too small a cap); printed by the bench tables so a
   // truncated timeline is never mistaken for a quiet run.

@@ -17,6 +17,7 @@
 
 #include "src/base/time.h"
 #include "src/check/check_options.h"
+#include "src/ctrl/ctrl_config.h"
 #include "src/mem/reclaimer.h"
 #include "src/rdma/fault_injector.h"
 #include "src/rdma/node_health.h"
@@ -53,6 +54,12 @@ struct SystemConfig {
   // exhaustion or node suspicion, and recovered nodes are re-silvered in the
   // background.
   ReplicationConfig replication;
+
+  // SLO-aware overload control (docs/OVERLOAD.md). Default-off and
+  // bit-identical to the pre-controller system: no controller is built, no
+  // tick events enter the engine, and the dispatcher's ctrl hooks stay null.
+  // Enable any of admission/shedding/scaling via its flag in CtrlConfig.
+  CtrlConfig ctrl;
 
   // Paging granularity (log2 bytes): 12 = 4 KiB compute-node pages as in
   // the paper; 21 = 2 MiB huge pages (512x I/O amplification, §5.2).

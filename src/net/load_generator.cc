@@ -35,8 +35,33 @@ void LoadGenerator::RegisterMetrics(MetricRegistry* registry) {
                           [this] { return static_cast<double>(dropped_); });
 }
 
+double LoadGenerator::RateMultiplierAt(SimTime now) const {
+  SimDuration total = 0;
+  for (const RatePhase& p : options_.rate_schedule) {
+    total += p.duration_ns;
+  }
+  if (total == 0) {
+    return 1.0;
+  }
+  SimDuration offset = now % total;
+  for (const RatePhase& p : options_.rate_schedule) {
+    if (offset < p.duration_ns) {
+      return p.multiplier;
+    }
+    offset -= p.duration_ns;
+  }
+  return options_.rate_schedule.back().multiplier;
+}
+
 void LoadGenerator::ScheduleNextArrival() {
-  const double mean_gap_ns = 1e9 / options_.rate_rps;
+  // With an empty schedule the constant-rate expression below is untouched,
+  // keeping the event stream bit-identical to the pre-schedule generator.
+  double rate_rps = options_.rate_rps;
+  if (!options_.rate_schedule.empty()) {
+    const double mult = RateMultiplierAt(engine_->now());
+    rate_rps = options_.rate_rps * (mult > 0.0 ? mult : 1e-6);
+  }
+  const double mean_gap_ns = 1e9 / rate_rps;
   const SimDuration gap =
       static_cast<SimDuration>(arrival_rng_.NextExponential(mean_gap_ns)) + 1;
   engine_->Schedule(gap, [this] {
@@ -51,6 +76,11 @@ void LoadGenerator::ScheduleNextArrival() {
 void LoadGenerator::EmitRequest() {
   auto* req = new Request();
   req->id = next_id_++;
+  if (options_.num_tenants > 1) {
+    // Round-robin stamping only — no extra rng draw, so multi-tenant runs
+    // keep the exact single-tenant arrival and workload streams.
+    req->tenant = static_cast<uint32_t>(sent_ % options_.num_tenants);
+  }
   req->request_bytes = options_.request_bytes;
   req->reply_bytes = 64;
   app_->FillRequest(workload_rng_, req);

@@ -26,6 +26,16 @@ namespace adios {
 
 class LoadGenerator {
  public:
+  // One phase of a piecewise-constant arrival-rate schedule: for
+  // `duration_ns` the offered rate is rate_rps * multiplier. Phases repeat
+  // cyclically from t = 0 for the whole run (warmup included), which is how
+  // the overload bench shapes diurnal and flash-crowd traces
+  // (docs/OVERLOAD.md) without touching the Poisson draw itself.
+  struct RatePhase {
+    SimDuration duration_ns = 0;
+    double multiplier = 1.0;
+  };
+
   struct Options {
     double rate_rps = 1e6;
     SimDuration warmup_ns = Milliseconds(20);
@@ -35,6 +45,13 @@ class LoadGenerator {
     size_t max_samples = 1u << 20;
     // Spot-check every Nth completed request against Application::Verify.
     uint32_t verify_every = 64;
+    // Tenants for per-tenant admission control: requests are stamped
+    // round-robin with tenant = sent mod num_tenants. 1 = single-tenant
+    // (every request tenant 0, the bit-identical default).
+    uint32_t num_tenants = 1;
+    // Empty = constant rate (the bit-identical default; the exponential-gap
+    // code path is untouched).
+    std::vector<RatePhase> rate_schedule;
   };
 
   LoadGenerator(Engine* engine, RdmaFabric* fabric, Dispatcher* dispatcher, Application* app,
@@ -77,6 +94,8 @@ class LoadGenerator {
  private:
   void ScheduleNextArrival();
   void EmitRequest();
+  // Schedule multiplier in effect at `now` (1.0 with an empty schedule).
+  double RateMultiplierAt(SimTime now) const;
 
   Engine* engine_;
   RdmaFabric* fabric_;

@@ -116,6 +116,15 @@ void MetricRegistry::RegisterProbe(const std::string& name, const MetricLabels& 
   probes_.push_back(Probe{name, labels.str(), std::move(fn)});
 }
 
+double MetricRegistry::ReadProbe(const std::string& name, const std::string& labels,
+                                 double fallback) const {
+  auto it = probe_index_.find(Key(name, labels));
+  if (it == probe_index_.end()) {
+    return fallback;
+  }
+  return probes_[it->second].fn();
+}
+
 MetricsSnapshot MetricRegistry::Snapshot() const {
   MetricsSnapshot snap;
   snap.samples.reserve(metric_count());

@@ -121,6 +121,13 @@ class MetricRegistry {
   void RegisterProbe(const std::string& name, const MetricLabels& labels,
                      std::function<double()> fn);
 
+  // Samples one registered probe immediately (O(1) lookup by canonical
+  // labels string), or returns `fallback` when no such probe exists. This is
+  // how feedback consumers (the overload controller, docs/OVERLOAD.md) close
+  // the loop on signals components already publish, without a side channel.
+  double ReadProbe(const std::string& name, const std::string& labels = "",
+                   double fallback = 0.0) const;
+
   MetricsSnapshot Snapshot() const;
 
   size_t metric_count() const;

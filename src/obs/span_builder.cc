@@ -212,7 +212,24 @@ class Folder {
       case TraceEvent::kNodeSuspect:
       case TraceEvent::kNodeDead:
       case TraceEvent::kResilverDone:
-        Problem(rec, "node event with nonzero request id");
+      case TraceEvent::kScale:
+        Problem(rec, "system event with nonzero request id");
+        break;
+
+      // Overload-control rejection at arrival (docs/OVERLOAD.md): terminal.
+      // The span ends here with only its (zero-service) queue segment.
+      case TraceEvent::kAdmit:
+      case TraceEvent::kShed:
+        if (span.started || span.completed || span.ctrl_dropped) {
+          Problem(rec, "overload drop after start");
+          break;
+        }
+        if (st.open && st.open_kind == SegmentKind::kQueue) {
+          CloseSegment(st, span, rec, SegmentKind::kQueue);
+        }
+        st.open = false;
+        span.ctrl_dropped = true;
+        span.done_time = rec.time;
         break;
     }
   }

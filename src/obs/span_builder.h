@@ -69,6 +69,9 @@ struct RequestSpan {
   bool dispatched = false;
   bool started = false;
   bool completed = false;  // Saw kDone; only completed spans reconcile.
+  // Saw kAdmit/kShed: rejected by overload control at arrival
+  // (docs/OVERLOAD.md). Terminal like completed, but with no service at all.
+  bool ctrl_dropped = false;
 
   // Per-kind totals (ns); exec is the remainder of [start, done].
   uint64_t queue_ns = 0;

@@ -79,4 +79,27 @@ TimeSeries BuildTimeSeries(const std::vector<RequestSample>& samples,
   return ts;
 }
 
+void AttachActiveWorkers(TimeSeries& series, const std::vector<PfPoint>& active_points) {
+  if (series.empty() || series.window_ns == 0 || active_points.empty()) {
+    return;
+  }
+  for (const PfPoint& p : active_points) {
+    if (p.time < series.origin) {
+      continue;
+    }
+    const size_t w = static_cast<size_t>((p.time - series.origin) / series.window_ns);
+    if (w >= series.windows.size()) {
+      continue;
+    }
+    TimeWindow& win = series.windows[w];
+    win.mean_active_workers += p.outstanding;
+    ++win.active_samples;
+  }
+  for (TimeWindow& win : series.windows) {
+    if (win.active_samples > 0) {
+      win.mean_active_workers /= static_cast<double>(win.active_samples);
+    }
+  }
+}
+
 }  // namespace adios

@@ -34,6 +34,11 @@ struct TimeWindow {
   // Mean outstanding page faults over the sampler points in the window.
   double mean_outstanding_pf = 0.0;
   uint32_t pf_samples = 0;
+  // Mean active-worker level from the scaling controller, same sampler
+  // cadence (docs/OVERLOAD.md). Zero with overload control off — see
+  // AttachActiveWorkers.
+  double mean_active_workers = 0.0;
+  uint32_t active_samples = 0;
 };
 
 struct TimeSeries {
@@ -53,6 +58,12 @@ struct TimeSeries {
 TimeSeries BuildTimeSeries(const std::vector<RequestSample>& samples,
                            const std::vector<PfPoint>& pf_points, SimDuration warmup_ns,
                            SimDuration measure_ns, SimDuration window_ns);
+
+// Averages active-worker sampler points (the elastic-scaling level,
+// docs/OVERLOAD.md) into an already-built series' windows. Kept separate
+// from BuildTimeSeries so existing callers — and runs without overload
+// control, which have no such points — are untouched.
+void AttachActiveWorkers(TimeSeries& series, const std::vector<PfPoint>& active_points);
 
 }  // namespace adios
 

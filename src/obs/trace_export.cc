@@ -171,6 +171,17 @@ bool ExportChromeTrace(const Tracer& tracer, const SpanTimeline& timeline,
       case TraceEvent::kPrefetchHit:
         e.Async('n', rec.request_id, rec.time, "prefetch-hit");
         break;
+      // Overload control (docs/OVERLOAD.md): drops and scale steps land on
+      // the dispatcher track, where they interleave with arrivals.
+      case TraceEvent::kAdmit:
+        e.Instant(kDispatcherTid, rec.time, "admit-drop", rec.request_id, rec.arg, "tenant");
+        break;
+      case TraceEvent::kShed:
+        e.Instant(kDispatcherTid, rec.time, "shed-drop", rec.request_id, rec.arg, "tenant");
+        break;
+      case TraceEvent::kScale:
+        e.Instant(kDispatcherTid, rec.time, "scale", rec.request_id, rec.arg, "workers");
+        break;
       default:
         break;  // Span boundaries are exported from the folded segments.
     }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/ctrl/overload_control.h"
+
 namespace adios {
 
 Dispatcher::Dispatcher(Engine* engine, CpuCore* core, UnithreadPool* pool, CompletionQueue* cq,
@@ -43,6 +45,16 @@ void Dispatcher::OnRx(Request* req) {
   ++stats_.received;
   if (tracer_ != nullptr) {
     tracer_->Record(engine_->now(), req->id, TraceEvent::kArrive);
+  }
+  // Overload control (docs/OVERLOAD.md): admission/shed verdict at the front
+  // door, before the request can occupy ring or queue space. Drops count in
+  // stats_.dropped like RX-ring overflow, so the trace termination audit
+  // (arrived == done + dropped) keeps balancing.
+  if (ctrl_ != nullptr &&
+      ctrl_->Admit(*req, engine_->now()) != OverloadController::Verdict::kAdmit) {
+    ++stats_.dropped;
+    on_drop_(req);
+    return;
   }
   if (!rx_ring_.PushBack(req)) {
     ++stats_.dropped;
@@ -107,6 +119,11 @@ bool Dispatcher::DispatchSome() {
   }
   idle_scratch_.clear();
   for (Worker* w : workers_) {
+    // Elastic scaling: workers outside the active set finish what they have
+    // but receive no new assignments until the controller grows the set.
+    if (ctrl_ != nullptr && !ctrl_->WorkerActive(w->index())) {
+      continue;
+    }
     if (w->CanAccept()) {
       idle_scratch_.push_back(w);
     }

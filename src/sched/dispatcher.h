@@ -28,13 +28,15 @@
 
 namespace adios {
 
+class OverloadController;
+
 class Dispatcher {
  public:
   using DropFn = std::function<void(Request*)>;
 
   struct Stats {
     uint64_t received = 0;
-    uint64_t dropped = 0;       // RX ring overflow.
+    uint64_t dropped = 0;       // RX ring overflow + overload-control drops.
     uint64_t dispatched = 0;    // Requests handed to workers.
     uint64_t buffers_recycled = 0;
     uint64_t max_queue_depth = 0;
@@ -56,6 +58,11 @@ class Dispatcher {
   const Stats& stats() const { return stats_; }
   size_t queue_depth() const { return queue_.size() + rx_ring_.size(); }
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  // Overload control (docs/OVERLOAD.md): when set, OnRx consults the
+  // controller's admission/shed verdict before the RX ring, and DispatchSome
+  // assigns only to workers the scaling controller marks active. Null (the
+  // default) keeps the arrival path bit-identical to the pre-ctrl system.
+  void set_ctrl(OverloadController* ctrl) { ctrl_ = ctrl; }
   // Publishes the dispatcher's counters and queue depth as probes.
   void RegisterMetrics(MetricRegistry* registry);
 
@@ -74,6 +81,7 @@ class Dispatcher {
   DropFn on_drop_;
 
   Tracer* tracer_ = nullptr;
+  OverloadController* ctrl_ = nullptr;
   RingBuffer<Request*> rx_ring_;
   std::deque<Request*> queue_;  // The single centralized FCFS queue.
   WaitQueue events_;

@@ -46,6 +46,12 @@ const char* TraceEventName(TraceEvent ev) {
       return "frame-stall-done";
     case TraceEvent::kTxWait:
       return "tx-wait";
+    case TraceEvent::kAdmit:
+      return "admit-drop";
+    case TraceEvent::kShed:
+      return "shed-drop";
+    case TraceEvent::kScale:
+      return "scale";
   }
   return "?";
 }
@@ -89,6 +95,10 @@ void Tracer::PrintTimeline(uint64_t request_id, std::FILE* out) const {
     } else if (e.event == TraceEvent::kNodeSuspect || e.event == TraceEvent::kNodeDead ||
                e.event == TraceEvent::kFailover || e.event == TraceEvent::kResilverDone) {
       std::fprintf(out, " node=%u", e.arg);
+    } else if (e.event == TraceEvent::kAdmit || e.event == TraceEvent::kShed) {
+      std::fprintf(out, " tenant=%u", e.arg);
+    } else if (e.event == TraceEvent::kScale) {
+      std::fprintf(out, " workers=%u", e.arg);
     }
     std::fprintf(out, "\n");
     prev = e.time;

@@ -47,13 +47,19 @@ enum class TraceEvent : uint8_t {
   kFrameStall = 18,     // Waiting for a free local frame (arg = page wanted).
   kFrameStallDone = 19, // Frame wait over; the fault proceeds.
   kTxWait = 20,         // Synchronous reply-TX wait began (non-delegated path).
+  // Overload control (docs/OVERLOAD.md). Admission/shed drops are terminal:
+  // the request got kArrive and nothing else; scale decisions are
+  // system-level (request_id = 0, like the node-health transitions).
+  kAdmit = 21,  // Admission controller dropped the arrival (arg = tenant).
+  kShed = 22,   // Load shedder dropped the arrival (arg = tenant).
+  kScale = 23,  // Active worker set resized (arg = new active count).
 };
 
 const char* TraceEventName(TraceEvent ev);
 
 // One past the highest TraceEvent value (for exhaustive-name tests and
 // per-event tables).
-inline constexpr uint8_t kNumTraceEvents = 21;
+inline constexpr uint8_t kNumTraceEvents = 24;
 
 struct TraceRecord {
   SimTime time = 0;

@@ -1,0 +1,249 @@
+// Unit tests for the overload-control building blocks (docs/OVERLOAD.md):
+// token-bucket refill/burst, shed-knee hysteresis, scale dwell. The
+// controller is driven directly through Admit/TickNow with hand-registered
+// feedback probes, no MdSystem — the e2e behavior lives in md_system_test.
+
+#include <gtest/gtest.h>
+
+#include "src/ctrl/overload_control.h"
+#include "src/obs/metric_registry.h"
+#include "src/sched/request.h"
+#include "src/sim/engine.h"
+
+namespace adios {
+namespace {
+
+TEST(TokenBucketTest, BurstThenEmpty) {
+  TokenBucket bucket(/*rate_per_sec=*/1e6, /*burst=*/4.0);
+  // Full burst available at t = 0.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(bucket.TryTake(0)) << "take " << i;
+  }
+  EXPECT_FALSE(bucket.TryTake(0));
+}
+
+TEST(TokenBucketTest, RefillsAtRate) {
+  TokenBucket bucket(/*rate_per_sec=*/1e6, /*burst=*/4.0);  // 1 token / 1000 ns.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(bucket.TryTake(0));
+  }
+  // 500 ns buys half a token: still empty.
+  EXPECT_FALSE(bucket.TryTake(500));
+  // By 1600 ns the bucket has accumulated >= 1 token (the failed take at
+  // 500 ns consumed nothing).
+  EXPECT_TRUE(bucket.TryTake(1600));
+  EXPECT_FALSE(bucket.TryTake(1700));
+}
+
+TEST(TokenBucketTest, RefillCapsAtBurst) {
+  TokenBucket bucket(/*rate_per_sec=*/1e6, /*burst=*/4.0);
+  ASSERT_TRUE(bucket.TryTake(0));
+  // A long idle gap refills to the burst cap, not beyond.
+  EXPECT_DOUBLE_EQ(bucket.TokensAt(Milliseconds(100)), 4.0);
+}
+
+TEST(TokenBucketTest, TimeNeverRunsBackward) {
+  TokenBucket bucket(/*rate_per_sec=*/1e6, /*burst=*/1.0);
+  ASSERT_TRUE(bucket.TryTake(2000));
+  // A take stamped before the last refill must not mint tokens.
+  EXPECT_FALSE(bucket.TryTake(1000));
+  EXPECT_FALSE(bucket.TryTake(2000));
+}
+
+class OverloadControllerTest : public ::testing::Test {
+ protected:
+  OverloadController Make(const CtrlConfig& config, uint32_t num_workers = 4) {
+    return OverloadController(&engine_, config, num_workers, &registry_);
+  }
+
+  Request Req(uint64_t id, uint32_t tenant = 0) {
+    Request r;
+    r.id = id;
+    r.tenant = tenant;
+    return r;
+  }
+
+  // Feedback signals the controller reads back through the registry.
+  void PublishSignals(uint32_t num_workers) {
+    for (uint32_t i = 0; i < num_workers; ++i) {
+      registry_.RegisterProbe("worker.outstanding_faults", MetricLabels::Worker(i),
+                              [this] { return pf_per_worker_; });
+    }
+    registry_.RegisterProbe("dispatcher.queue_depth", {}, [this] { return queue_depth_; });
+  }
+
+  Engine engine_;
+  MetricRegistry registry_;
+  double pf_per_worker_ = 0.0;
+  double queue_depth_ = 0.0;
+};
+
+TEST_F(OverloadControllerTest, AdmissionDropsWhenBucketEmpty) {
+  CtrlConfig cfg;
+  cfg.admission_enabled = true;
+  cfg.admit_rate_rps = 1e6;  // 1 token / 1000 ns.
+  cfg.admit_burst = 2.0;
+  OverloadController ctrl = Make(cfg);
+
+  EXPECT_EQ(ctrl.Admit(Req(1), 0), OverloadController::Verdict::kAdmit);
+  EXPECT_EQ(ctrl.Admit(Req(2), 0), OverloadController::Verdict::kAdmit);
+  EXPECT_EQ(ctrl.Admit(Req(3), 0), OverloadController::Verdict::kAdmitDrop);
+  EXPECT_EQ(ctrl.admit_drops(), 1u);
+  // Refill readmits.
+  EXPECT_EQ(ctrl.Admit(Req(4), 1200), OverloadController::Verdict::kAdmit);
+  EXPECT_EQ(ctrl.admit_drops(), 1u);
+}
+
+TEST_F(OverloadControllerTest, AdmissionIsPerTenant) {
+  CtrlConfig cfg;
+  cfg.admission_enabled = true;
+  cfg.admit_rate_rps = 1e6;
+  cfg.admit_burst = 1.0;
+  OverloadController ctrl = Make(cfg);
+
+  EXPECT_EQ(ctrl.Admit(Req(1, /*tenant=*/0), 0), OverloadController::Verdict::kAdmit);
+  EXPECT_EQ(ctrl.Admit(Req(2, /*tenant=*/0), 0), OverloadController::Verdict::kAdmitDrop);
+  // Tenant 1 has its own bucket: unaffected by tenant 0's burst.
+  EXPECT_EQ(ctrl.Admit(Req(3, /*tenant=*/1), 0), OverloadController::Verdict::kAdmit);
+  EXPECT_EQ(ctrl.Admit(Req(4, /*tenant=*/1), 0), OverloadController::Verdict::kAdmitDrop);
+  EXPECT_EQ(ctrl.admit_drops(), 2u);
+}
+
+TEST_F(OverloadControllerTest, ShedHysteresisDoesNotFlap) {
+  CtrlConfig cfg;
+  cfg.shed_enabled = true;
+  cfg.shed_pf_knee = 8.0;  // Default clear level = knee / 2 = 4.
+  PublishSignals(4);
+  OverloadController ctrl = Make(cfg);
+
+  pf_per_worker_ = 7.9;
+  ctrl.TickNow(1000);
+  EXPECT_FALSE(ctrl.shedding());
+
+  pf_per_worker_ = 8.0;
+  ctrl.TickNow(2000);
+  EXPECT_TRUE(ctrl.shedding());
+  EXPECT_EQ(ctrl.shed_engagements(), 1u);
+
+  // Inside the hysteresis band (clear < pf < knee): stays engaged, and the
+  // engagement counter does not tick again.
+  pf_per_worker_ = 6.0;
+  ctrl.TickNow(3000);
+  EXPECT_TRUE(ctrl.shedding());
+  EXPECT_EQ(ctrl.shed_engagements(), 1u);
+
+  pf_per_worker_ = 4.0;
+  ctrl.TickNow(4000);
+  EXPECT_FALSE(ctrl.shedding());
+
+  // Back inside the band from below: still clear — no flapping.
+  pf_per_worker_ = 6.0;
+  ctrl.TickNow(5000);
+  EXPECT_FALSE(ctrl.shedding());
+  EXPECT_EQ(ctrl.shed_engagements(), 1u);
+
+  pf_per_worker_ = 9.0;
+  ctrl.TickNow(6000);
+  EXPECT_TRUE(ctrl.shedding());
+  EXPECT_EQ(ctrl.shed_engagements(), 2u);
+}
+
+TEST_F(OverloadControllerTest, SheddingDropsArrivals) {
+  CtrlConfig cfg;
+  cfg.shed_enabled = true;
+  cfg.shed_pf_knee = 8.0;
+  PublishSignals(4);
+  OverloadController ctrl = Make(cfg);
+
+  EXPECT_EQ(ctrl.Admit(Req(1), 0), OverloadController::Verdict::kAdmit);
+  pf_per_worker_ = 10.0;
+  ctrl.TickNow(1000);
+  EXPECT_EQ(ctrl.Admit(Req(2), 1100), OverloadController::Verdict::kShedDrop);
+  EXPECT_EQ(ctrl.shed_drops(), 1u);
+  pf_per_worker_ = 0.0;
+  ctrl.TickNow(2000);
+  EXPECT_EQ(ctrl.Admit(Req(3), 2100), OverloadController::Verdict::kAdmit);
+}
+
+TEST_F(OverloadControllerTest, ScaleRespectsDwellAndBounds) {
+  CtrlConfig cfg;
+  cfg.scale_enabled = true;
+  cfg.min_workers = 2;
+  cfg.scale_up_queue = 10.0;
+  cfg.scale_down_queue = 1.0;
+  cfg.scale_dwell_ns = 1000;
+  PublishSignals(4);
+  OverloadController ctrl = Make(cfg, /*num_workers=*/4);
+
+  EXPECT_EQ(ctrl.active_workers(), 4u);
+  EXPECT_TRUE(ctrl.WorkerActive(3));
+
+  // Idle queue: one step down per dwell period, never below min_workers.
+  queue_depth_ = 0.0;
+  ctrl.TickNow(1000);
+  EXPECT_EQ(ctrl.active_workers(), 3u);
+  EXPECT_FALSE(ctrl.WorkerActive(3));
+  ctrl.TickNow(1500);  // Inside the dwell window: no step.
+  EXPECT_EQ(ctrl.active_workers(), 3u);
+  ctrl.TickNow(2000);
+  EXPECT_EQ(ctrl.active_workers(), 2u);
+  ctrl.TickNow(3000);
+  EXPECT_EQ(ctrl.active_workers(), 2u);  // Floor.
+  EXPECT_EQ(ctrl.scale_downs(), 2u);
+
+  // Deep queue: steps back up to the full set, one per dwell.
+  queue_depth_ = 50.0;
+  ctrl.TickNow(4000);
+  ctrl.TickNow(4100);  // Dwell again.
+  EXPECT_EQ(ctrl.active_workers(), 3u);
+  ctrl.TickNow(5000);
+  EXPECT_EQ(ctrl.active_workers(), 4u);
+  ctrl.TickNow(6000);
+  EXPECT_EQ(ctrl.active_workers(), 4u);  // Ceiling.
+  EXPECT_EQ(ctrl.scale_ups(), 2u);
+}
+
+TEST_F(OverloadControllerTest, QueueBetweenThresholdsHoldsLevel) {
+  CtrlConfig cfg;
+  cfg.scale_enabled = true;
+  cfg.min_workers = 1;
+  cfg.scale_up_queue = 10.0;
+  cfg.scale_down_queue = 1.0;
+  cfg.scale_dwell_ns = 1000;
+  PublishSignals(4);
+  OverloadController ctrl = Make(cfg, /*num_workers=*/4);
+
+  queue_depth_ = 5.0;  // Inside the dead band.
+  for (SimTime t = 1000; t <= 8000; t += 1000) {
+    ctrl.TickNow(t);
+  }
+  EXPECT_EQ(ctrl.active_workers(), 4u);
+  EXPECT_EQ(ctrl.scale_ups(), 0u);
+  EXPECT_EQ(ctrl.scale_downs(), 0u);
+}
+
+TEST_F(OverloadControllerTest, PublishesDecisionProbes) {
+  CtrlConfig cfg;
+  cfg.admission_enabled = true;
+  cfg.admit_rate_rps = 1e6;
+  cfg.admit_burst = 1.0;
+  OverloadController ctrl = Make(cfg);
+  ctrl.RegisterMetrics(&registry_);
+
+  ASSERT_EQ(ctrl.Admit(Req(1), 0), OverloadController::Verdict::kAdmit);
+  ASSERT_EQ(ctrl.Admit(Req(2), 0), OverloadController::Verdict::kAdmitDrop);
+  EXPECT_DOUBLE_EQ(registry_.ReadProbe("ctrl.admit_drops"), 1.0);
+  EXPECT_DOUBLE_EQ(registry_.ReadProbe("ctrl.active_workers"), 4.0);
+  EXPECT_DOUBLE_EQ(registry_.ReadProbe("ctrl.shedding"), 0.0);
+}
+
+TEST(MetricRegistryProbeTest, ReadProbeFallsBackWhenAbsent) {
+  MetricRegistry registry;
+  EXPECT_DOUBLE_EQ(registry.ReadProbe("no.such.probe", "", 42.0), 42.0);
+  registry.RegisterProbe("a.probe", {}, [] { return 7.0; });
+  EXPECT_DOUBLE_EQ(registry.ReadProbe("a.probe"), 7.0);
+  EXPECT_DOUBLE_EQ(registry.ReadProbe("a.probe", "worker=0", -1.0), -1.0);
+}
+
+}  // namespace
+}  // namespace adios

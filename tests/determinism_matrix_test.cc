@@ -38,10 +38,11 @@ struct Cell {
   std::string system;
   bool prefetch = false;
   bool fault = false;
+  bool ctrl = false;  // Overload control: admission + shedding + scaling.
 
   std::string Name() const {
-    return StrFormat("%s/prefetch=%d/fault=%d", system.c_str(), prefetch ? 1 : 0,
-                     fault ? 1 : 0);
+    return StrFormat("%s/prefetch=%d/fault=%d/ctrl=%d", system.c_str(), prefetch ? 1 : 0,
+                     fault ? 1 : 0, ctrl ? 1 : 0);
   }
 };
 
@@ -63,6 +64,16 @@ Outcome RunCell(const Cell& cell) {
     cfg.fault.nack_rate = 0.001;
     cfg.fault.delay_rate = 0.002;
   }
+  if (cell.ctrl) {
+    // All three controllers on, with admission set below the offered rate so
+    // drop decisions are actually part of the compared streams.
+    cfg.ctrl.admission_enabled = true;
+    cfg.ctrl.admit_rate_rps = 150000;
+    cfg.ctrl.shed_enabled = true;
+    cfg.ctrl.shed_pf_knee = 4.0;
+    cfg.ctrl.scale_enabled = true;
+    cfg.ctrl.min_workers = 2;
+  }
   ArrayApp::Options ao;
   ao.entries = 1 << 14;
   ArrayApp app(ao);
@@ -77,37 +88,50 @@ Outcome RunCell(const Cell& cell) {
   return out;
 }
 
+void ExpectIdenticalRuns(const Cell& cell) {
+  SCOPED_TRACE(cell.Name());
+  const Outcome a = RunCell(cell);
+  const Outcome b = RunCell(cell);
+  ASSERT_GT(a.sent, 0u);
+  ASSERT_GT(a.completed, 0u);
+  EXPECT_EQ(a.dropped, 0u) << "raise the tracer capacity: a truncated "
+                              "stream weakens the comparison";
+  EXPECT_EQ(a.sent, b.sent);
+  EXPECT_EQ(a.completed, b.completed);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  // Event-for-event identity; report the first divergence precisely
+  // instead of dumping both streams.
+  for (size_t i = 0; i < a.records.size(); ++i) {
+    if (a.records[i] != b.records[i]) {
+      FAIL() << "first divergence at record " << i << ": run A {t="
+             << a.records[i].time << " req=" << a.records[i].request_id
+             << " ev=" << TraceEventName(a.records[i].event)
+             << " arg=" << a.records[i].arg << "} vs run B {t="
+             << b.records[i].time << " req=" << b.records[i].request_id
+             << " ev=" << TraceEventName(b.records[i].event)
+             << " arg=" << b.records[i].arg << "}";
+    }
+  }
+}
+
 TEST(DeterminismMatrix, IdenticalTraceStreamsAcrossTheFullMatrix) {
   const std::vector<std::string> systems = {"Adios", "DiLOS", "DiLOS-P", "Hermit"};
   for (const std::string& system : systems) {
     for (const bool prefetch : {false, true}) {
       for (const bool fault : {false, true}) {
-        const Cell cell{system, prefetch, fault};
-        SCOPED_TRACE(cell.Name());
-        const Outcome a = RunCell(cell);
-        const Outcome b = RunCell(cell);
-        ASSERT_GT(a.sent, 0u);
-        ASSERT_GT(a.completed, 0u);
-        EXPECT_EQ(a.dropped, 0u) << "raise the tracer capacity: a truncated "
-                                    "stream weakens the comparison";
-        EXPECT_EQ(a.sent, b.sent);
-        EXPECT_EQ(a.completed, b.completed);
-        ASSERT_EQ(a.records.size(), b.records.size());
-        // Event-for-event identity; report the first divergence precisely
-        // instead of dumping both streams.
-        for (size_t i = 0; i < a.records.size(); ++i) {
-          if (a.records[i] != b.records[i]) {
-            FAIL() << "first divergence at record " << i << ": run A {t="
-                   << a.records[i].time << " req=" << a.records[i].request_id
-                   << " ev=" << TraceEventName(a.records[i].event)
-                   << " arg=" << a.records[i].arg << "} vs run B {t="
-                   << b.records[i].time << " req=" << b.records[i].request_id
-                   << " ev=" << TraceEventName(b.records[i].event)
-                   << " arg=" << b.records[i].arg << "}";
-          }
-        }
+        ExpectIdenticalRuns(Cell{system, prefetch, fault, /*ctrl=*/false});
       }
     }
+  }
+}
+
+TEST(DeterminismMatrix, IdenticalTraceStreamsWithOverloadControl) {
+  // Overload control adds drop decisions, shed ticks, and scale steps to the
+  // event stream; the decisions themselves must replay bit-exactly. Run the
+  // ctrl-on cells on Adios (the preset the overload bench drives), with and
+  // without fault injection riding along.
+  for (const bool fault : {false, true}) {
+    ExpectIdenticalRuns(Cell{"Adios", /*prefetch=*/false, fault, /*ctrl=*/true});
   }
 }
 

@@ -4,9 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "src/apps/array_app.h"
 #include "src/apps/memcached_app.h"
 #include "src/apps/rocksdb_app.h"
+#include "src/sim/trace.h"
 
 namespace adios {
 namespace {
@@ -273,6 +276,90 @@ TEST(MdSystem, SingleNodeResultsUnchangedByReplicationCode) {
   EXPECT_EQ(r.failovers, 0u);
   EXPECT_EQ(r.node_suspect_events, 0u);
   EXPECT_EQ(r.divergence_events, 0u);
+}
+
+// --- Overload control (docs/OVERLOAD.md) ---
+
+TEST(MdSystem, CtrlDropsReconcileWithArrivals) {
+  // Admission pinned far below the offered load: the surplus must be dropped
+  // at arrival, and every ledger must balance — loadgen conservation,
+  // dispatcher drop accounting, RunResult counters, and the ctrl.* metrics
+  // all tell the same story.
+  SystemConfig cfg = SystemConfig::Adios();
+  cfg.ctrl.admission_enabled = true;
+  cfg.ctrl.admit_rate_rps = 150000;
+  cfg.ctrl.admit_burst = 32;
+  cfg.ctrl.shed_enabled = true;
+  cfg.ctrl.shed_pf_knee = 4.0;
+  ArrayApp app(SmallArray());
+  MdSystem sys(cfg, &app);
+  RunResult r = sys.Run(500000, Milliseconds(4), Milliseconds(10));
+  ASSERT_TRUE(r.ctrl.enabled);
+  EXPECT_GT(r.ctrl.admit_drops, 0u);
+  EXPECT_EQ(r.sent, r.completed + r.dropped);
+  // Offered load is far below RX-ring capacity once admission shaves it, so
+  // every drop is a controller decision: the dispatcher's drop counter (and
+  // the loadgen's, which mirrors it) is exactly admit + shed.
+  EXPECT_EQ(r.dispatcher_drops, r.ctrl.admit_drops + r.ctrl.shed_drops);
+  EXPECT_EQ(r.dropped, r.dispatcher_drops);
+  // Admitted throughput lands near the admission rate, not the offered rate.
+  EXPECT_LT(r.throughput_rps, 250000.0);
+  EXPECT_GT(r.throughput_rps, 100000.0);
+  // The registry's ctrl.* probes agree with the RunResult counters.
+  EXPECT_EQ(static_cast<uint64_t>(r.metrics.Value("ctrl.admit_drops")), r.ctrl.admit_drops);
+  EXPECT_EQ(static_cast<uint64_t>(r.metrics.Value("ctrl.shed_drops")), r.ctrl.shed_drops);
+}
+
+TEST(MdSystem, CtrlScaleDownEngagesAtLowLoad) {
+  // At a fraction of capacity the queue sits empty, so elastic scaling must
+  // shrink the active set toward min_workers — and the run must still
+  // complete everything it admitted.
+  SystemConfig cfg = SystemConfig::Adios();
+  cfg.ctrl.scale_enabled = true;
+  cfg.ctrl.min_workers = 2;
+  ArrayApp app(SmallArray());
+  MdSystem sys(cfg, &app);
+  RunResult r = sys.Run(150000, Milliseconds(4), Milliseconds(10));
+  ASSERT_TRUE(r.ctrl.enabled);
+  EXPECT_EQ(r.sent, r.completed + r.dropped);
+  EXPECT_EQ(r.dropped, 0u);  // Scaling alone never drops.
+  EXPECT_GT(r.ctrl.scale_downs, 0u);
+  EXPECT_LT(r.ctrl.mean_active_workers, 8.0);
+  EXPECT_GE(r.ctrl.mean_active_workers, 2.0);
+}
+
+TEST(MdSystem, CtrlDisabledIsEventStreamIdenticalToSeed) {
+  // Non-enabling ctrl knob changes (rates, knees, bounds — but no *_enabled
+  // flag) must leave the run bit-identical to the default config: no
+  // controller is built, no tick events enter the engine, no kAdmit/kShed/
+  // kScale records appear.
+  auto run = [](bool touch_knobs) {
+    SystemConfig cfg = SystemConfig::Adios();
+    if (touch_knobs) {
+      cfg.ctrl.admit_rate_rps = 1000.0;  // Would throttle hard if enabled.
+      cfg.ctrl.shed_pf_knee = 1.0;
+      cfg.ctrl.min_workers = 3;
+      cfg.ctrl.tick_ns = Microseconds(5);
+    }
+    ArrayApp app(SmallArray());
+    MdSystem sys(cfg, &app);
+    sys.tracer().Enable(1 << 21);
+    RunResult r = sys.Run(250000, Milliseconds(2), Milliseconds(5));
+    EXPECT_FALSE(r.ctrl.enabled);
+    EXPECT_EQ(r.ctrl.admit_drops + r.ctrl.shed_drops + r.ctrl.scale_ups + r.ctrl.scale_downs,
+              0u);
+    return sys.tracer().records();
+  };
+  const std::vector<TraceRecord> baseline = run(false);
+  const std::vector<TraceRecord> knobs = run(true);
+  ASSERT_GT(baseline.size(), 0u);
+  ASSERT_EQ(baseline.size(), knobs.size());
+  for (size_t i = 0; i < baseline.size(); ++i) {
+    ASSERT_EQ(baseline[i], knobs[i]) << "first divergence at record " << i;
+    ASSERT_NE(baseline[i].event, TraceEvent::kAdmit);
+    ASSERT_NE(baseline[i].event, TraceEvent::kShed);
+    ASSERT_NE(baseline[i].event, TraceEvent::kScale);
+  }
 }
 
 TEST(MdSystem, RdmaUtilizationScalesWithLoad) {

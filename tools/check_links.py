@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation set.
+
+Validates, across README.md, DESIGN.md, EXPERIMENTS.md, ROADMAP.md and
+docs/*.md:
+
+  * every relative link points at a file or directory that exists;
+  * every anchor (`#section`, in-page or cross-doc) resolves to a heading
+    in the target document, using GitHub's heading-slug rules;
+  * every file under docs/ is linked from README.md's documentation map,
+    so no design doc is unreachable from the front page.
+
+External (http/https/mailto) links are not fetched. Stdlib only; exits
+nonzero with one line per problem, so CI can run it next to the lint leg:
+
+    python3 tools/check_links.py
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Docs whose links we validate. PAPER.md / PAPERS.md / SNIPPETS.md / ISSUE.md
+# are generated research-context files, not part of the documentation graph.
+DOC_FILES = ["README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md"]
+
+# Inline markdown links: [text](target). Images ![alt](target) match too via
+# the same pattern (the leading ! is simply not captured).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def doc_paths():
+    paths = [REPO / name for name in DOC_FILES if (REPO / name).exists()]
+    paths.extend(sorted((REPO / "docs").glob("*.md")))
+    return paths
+
+
+def github_slug(heading):
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces to dashes."""
+    text = heading.strip()
+    # Strip markdown emphasis/code markers and trailing heading hashes.
+    text = re.sub(r"[`*_]", "", text)
+    text = re.sub(r"\s+#+\s*$", "", text)
+    # Strip inline links, keeping the text: [text](url) -> text.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    text = text.replace(" ", "-")
+    return text
+
+
+def extract(path):
+    """Returns (links, anchors): links as (line_no, target), anchors as a set."""
+    links = []
+    anchors = set()
+    slug_counts = {}
+    in_fence = False
+    for line_no, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        heading = HEADING_RE.match(line)
+        if heading:
+            slug = github_slug(heading.group(2))
+            # GitHub de-duplicates repeated headings with -1, -2, ...
+            n = slug_counts.get(slug, 0)
+            slug_counts[slug] = n + 1
+            anchors.add(slug if n == 0 else f"{slug}-{n}")
+            continue
+        for match in LINK_RE.finditer(line):
+            links.append((line_no, match.group(1)))
+    return links, anchors
+
+
+def main():
+    problems = []
+    docs = doc_paths()
+    anchors_of = {}
+    links_of = {}
+    for path in docs:
+        links_of[path], anchors_of[path] = extract(path)
+
+    for path in docs:
+        rel = path.relative_to(REPO)
+        for line_no, target in links_of[path]:
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            file_part, _, anchor = target.partition("#")
+            if file_part:
+                dest = (path.parent / file_part).resolve()
+                if not dest.exists():
+                    problems.append(f"{rel}:{line_no}: broken link: {target}")
+                    continue
+            else:
+                dest = path  # Pure in-page anchor.
+            if anchor:
+                if dest.suffix != ".md":
+                    continue  # Anchors into source files are line fragments.
+                if dest not in anchors_of:
+                    if dest.exists():
+                        _, anchors_of[dest] = extract(dest)
+                    else:
+                        continue
+                if anchor not in anchors_of[dest]:
+                    problems.append(
+                        f"{rel}:{line_no}: broken anchor: {target} "
+                        f"(no heading '#{anchor}' in {dest.relative_to(REPO)})"
+                    )
+
+    # Reachability: every docs/*.md must be linked from README.md.
+    readme = REPO / "README.md"
+    readme_targets = set()
+    for _, target in links_of.get(readme, []):
+        file_part = target.partition("#")[0]
+        if file_part:
+            readme_targets.add((readme.parent / file_part).resolve())
+    for doc in sorted((REPO / "docs").glob("*.md")):
+        if doc.resolve() not in readme_targets:
+            problems.append(
+                f"README.md: {doc.relative_to(REPO)} is not linked from the "
+                f"documentation map"
+            )
+
+    for problem in problems:
+        print(problem)
+    checked = sum(len(v) for v in links_of.values())
+    if problems:
+        print(f"FAIL: {len(problems)} problem(s) across {len(docs)} docs "
+              f"({checked} links checked)")
+        return 1
+    print(f"OK: {len(docs)} docs, {checked} links, all targets and anchors resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
