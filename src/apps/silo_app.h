@@ -100,6 +100,7 @@ class SiloApp final : public Application {
   };
 
   // Deterministic per-request parameter derivation (so Verify can replay).
+  // adios-lint: ignore(default-off-knob) -- per-txn scratch record, not knobs
   struct TxnParams {
     uint32_t w, d, c;
     uint32_t ol_cnt;

@@ -1,0 +1,36 @@
+// Source annotations for `adios-lint` (tools/adios_lint, docs/STATIC_ANALYSIS.md).
+//
+// The macros expand to nothing: they exist so the static analyzer (and human
+// readers) can see scheduling contracts that the type system cannot express.
+// The analyzer seeds its transitive may-suspend propagation from the engine
+// primitives (Engine::Wait / SuspendCurrent / RawSwitch, WaitQueue::Wait) and
+// from any function carrying ADIOS_MAY_SUSPEND; ADIOS_NO_SUSPEND asserts the
+// opposite and is *verified* — annotating a function that transitively
+// reaches a suspension point is itself a lint finding.
+//
+// Place the macro immediately before the return type, on declaration or
+// definition (either is picked up; the definition wins on conflict):
+//
+//   ADIOS_MAY_SUSPEND void Wait(SimDuration d);
+//   ADIOS_NO_SUSPEND uint64_t SelectVictim();
+//
+// Per-site suppressions use a comment on the finding line (or the line
+// above):
+//
+//   // adios-lint: ignore(suspend-safety) -- single evictor, page already unmapped
+//
+// See docs/STATIC_ANALYSIS.md for the rule catalog.
+
+#ifndef ADIOS_SRC_BASE_ANNOTATIONS_H_
+#define ADIOS_SRC_BASE_ANNOTATIONS_H_
+
+// The function may suspend the calling fiber (directly or transitively):
+// raw PageEntry references, frame indices, and page-table cursors obtained
+// before the call are stale after it.
+#define ADIOS_MAY_SUSPEND
+
+// The function must never suspend; the analyzer errors if its transitive
+// call graph reaches a suspension point.
+#define ADIOS_NO_SUSPEND
+
+#endif  // ADIOS_SRC_BASE_ANNOTATIONS_H_

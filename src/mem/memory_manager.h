@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/base/annotations.h"
 #include "src/mem/page_table.h"
 #include "src/sim/engine.h"
 #include "src/sim/wait_queue.h"
@@ -67,15 +68,15 @@ class MemoryManager {
   PageTable& page_table() { return page_table_; }
   Stats& stats() { return stats_; }
 
-  PageState StateOf(uint64_t vpage) const { return page_table_.entry(vpage).state; }
+  ADIOS_NO_SUSPEND PageState StateOf(uint64_t vpage) const { return page_table_.entry(vpage).state; }
 
   // Paging-granularity helpers (fetch size = one page).
   uint64_t page_bytes() const { return 1ull << options_.page_shift; }
   uint64_t PageOfAddr(RemoteAddr addr) const { return addr >> options_.page_shift; }
 
   // Fault-handling pins: a pinned page is never selected for eviction.
-  void Pin(uint64_t vpage) { ++page_table_.entry(vpage).pins; }
-  void Unpin(uint64_t vpage) {
+  ADIOS_NO_SUSPEND void Pin(uint64_t vpage) { ++page_table_.entry(vpage).pins; }
+  ADIOS_NO_SUSPEND void Unpin(uint64_t vpage) {
     PageEntry& e = page_table_.entry(vpage);
     ADIOS_DCHECK(e.pins > 0);
     --e.pins;
@@ -84,7 +85,7 @@ class MemoryManager {
   // Records an access to a resident page (reference/dirty bits). The first
   // touch of a prefetched page promotes it out of the prefetch cache and
   // counts a prefetch hit.
-  void Touch(uint64_t vpage, bool write) {
+  ADIOS_NO_SUSPEND void Touch(uint64_t vpage, bool write) {
     PageEntry& e = page_table_.entry(vpage);
     ADIOS_DCHECK(e.state == PageState::kPresent);
     if (e.prefetched) {
@@ -149,7 +150,8 @@ class MemoryManager {
   // Reserves a frame and transitions kRemote -> kFetching. The caller must
   // have checked HasFreeFrame(). Prefetch fetches enter the prefetch cache
   // (tagged with the issuing worker for hit/waste feedback).
-  void BeginFetch(uint64_t vpage, bool prefetch = false, uint16_t owner = 0);
+  ADIOS_NO_SUSPEND void BeginFetch(uint64_t vpage, bool prefetch = false,
+                                   uint16_t owner = 0);
 
   // Registers a callback to run when the in-flight fetch of `vpage` settles:
   // `ok` is true when the page mapped (CompleteFetch) and false when the
@@ -158,12 +160,12 @@ class MemoryManager {
   void AddFetchWaiter(uint64_t vpage, FetchWaiter resume);
 
   // Transitions kFetching -> kPresent and runs (then clears) all waiters.
-  void CompleteFetch(uint64_t vpage);
+  ADIOS_NO_SUSPEND void CompleteFetch(uint64_t vpage);
 
   // Fetch retry budget exhausted: transitions kFetching -> kRemote, releases
   // the reserved frame, and runs all waiters with ok = false (the graceful-
   // degradation path — waiters fail their requests instead of refetching).
-  void AbortFetch(uint64_t vpage);
+  ADIOS_NO_SUSPEND void AbortFetch(uint64_t vpage);
 
   // --- Prefetch cache ---
 
@@ -193,12 +195,12 @@ class MemoryManager {
   // Victim selection: untouched prefetched-resident pages first (FIFO order
   // — the oldest unproven prefetch is the cheapest frame to reclaim), then
   // the page table's clock. page_table().num_pages() when none evictable.
-  uint64_t SelectVictim();
+  ADIOS_NO_SUSPEND uint64_t SelectVictim();
 
   // Unmaps `vpage`. Returns true when the page was dirty: the caller must
   // write it back and call ReleaseFrame() once the WRITE completes. Clean
   // pages release their frame immediately.
-  bool EvictPage(uint64_t vpage);
+  ADIOS_NO_SUSPEND bool EvictPage(uint64_t vpage);
 
   // Hook invoked whenever the free-frame count falls below the low
   // watermark (the proactive reclaimer's kick).

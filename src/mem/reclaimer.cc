@@ -208,6 +208,10 @@ void Reclaimer::Loop() {
         continue;
       }
       core_->Consume(options_.evict_cycles);
+      // adios-lint: ignore(suspend-safety) -- the Wait branches above always
+      // `continue` and re-select; on this path `victim` is freshly selected,
+      // and after EvictPage the single evictor keeps the frame reserved, so
+      // it stays valid across the cq_wait_ suspensions below.
       const bool dirty = mm_->EvictPage(victim);
       ++pages_reclaimed_;
       if (dirty) {

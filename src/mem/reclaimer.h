@@ -86,7 +86,7 @@ class Reclaimer {
   uint64_t writeback_pages_tracked() const { return wb_pages_.size(); }
 
  private:
-  void Loop();
+  ADIOS_MAY_SUSPEND void Loop();
   void DrainWriteCompletions();
 
   // --- Write-back fan-out ---

@@ -134,9 +134,9 @@ class Worker final : public WorkerApi {
   void Loop();
   void RunItemNow(RunItem* item);
   void FinishRequest(RunItem* item);
-  void AccessPage(uint64_t vpage, bool write);
-  void BlockOnFetch(uint64_t vpage);
-  void WaitForFreeFrame(uint64_t vpage);
+  ADIOS_MAY_SUSPEND void AccessPage(uint64_t vpage, bool write);
+  ADIOS_MAY_SUSPEND void BlockOnFetch(uint64_t vpage);
+  ADIOS_MAY_SUSPEND void WaitForFreeFrame(uint64_t vpage);
   void PostReadWithBackpressure(uint64_t vpage);
   // Posts the demand READ for `vpage` plus the prefetcher's candidates —
   // doorbell-batched when enabled, one doorbell each otherwise (the

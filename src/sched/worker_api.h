@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "src/base/annotations.h"
 #include "src/base/rng.h"
 #include "src/mem/remote_heap.h"
 #include "src/sched/request.h"
@@ -23,14 +24,15 @@ class WorkerApi {
   // Declares an access to remote-heap bytes [addr, addr+len). Faults and
   // blocks (per the system's fault policy) for every non-resident page
   // spanned. Resident pages cost nothing — the MMU check is free.
-  virtual void Access(RemoteAddr addr, uint64_t len, bool write) = 0;
+  ADIOS_MAY_SUSPEND virtual void Access(RemoteAddr addr, uint64_t len,
+                                        bool write) = 0;
 
   // Models `cycles` of computation on the current core.
-  virtual void Compute(uint64_t cycles) = 0;
+  ADIOS_MAY_SUSPEND virtual void Compute(uint64_t cycles) = 0;
 
   // Concord-style preemption probe; no-op unless preemption is enabled.
   // Long-running handlers (scans, batch work) call this inside their loops.
-  virtual void MaybePreempt() = 0;
+  ADIOS_MAY_SUSPEND virtual void MaybePreempt() = 0;
 
   virtual RemoteRegion* region() = 0;
   virtual Request* request() = 0;
@@ -39,23 +41,24 @@ class WorkerApi {
   // --- Typed remote-memory helpers ---
 
   template <typename T>
-  T Read(RemoteAddr addr) {
+  ADIOS_MAY_SUSPEND T Read(RemoteAddr addr) {
     Access(addr, sizeof(T), false);
     return region()->template ReadObject<T>(addr);
   }
 
   template <typename T>
-  void Write(RemoteAddr addr, const T& value) {
+  ADIOS_MAY_SUSPEND void Write(RemoteAddr addr, const T& value) {
     Access(addr, sizeof(T), true);
     region()->WriteObject(addr, value);
   }
 
-  void ReadBytes(RemoteAddr addr, void* dst, uint64_t len) {
+  ADIOS_MAY_SUSPEND void ReadBytes(RemoteAddr addr, void* dst, uint64_t len) {
     Access(addr, len, false);
     region()->ReadBytes(addr, dst, len);
   }
 
-  void WriteBytes(RemoteAddr addr, const void* src, uint64_t len) {
+  ADIOS_MAY_SUSPEND void WriteBytes(RemoteAddr addr, const void* src,
+                                    uint64_t len) {
     Access(addr, len, true);
     region()->WriteBytes(addr, src, len);
   }

@@ -11,6 +11,7 @@
 
 #include <string>
 
+#include "src/base/annotations.h"
 #include "src/base/time.h"
 #include "src/sim/engine.h"
 
@@ -29,20 +30,20 @@ class CpuCore {
   const std::string& name() const { return name_; }
 
   // Models `cycles` of computation on this core.
-  void Consume(uint64_t cycles) {
+  ADIOS_MAY_SUSPEND void Consume(uint64_t cycles) {
     const SimDuration ns = clock_.ToNanos(cycles);
     busy_ns_ += ns;
     engine_->Wait(ns);
   }
 
-  void ConsumeNs(SimDuration ns) {
+  ADIOS_MAY_SUSPEND void ConsumeNs(SimDuration ns) {
     busy_ns_ += ns;
     engine_->Wait(ns);
   }
 
   // Models spinning until simulated time `until` (e.g. busy-waiting on an
   // RDMA completion). The core is busy the whole time.
-  void BusyWaitUntil(SimTime until) {
+  ADIOS_MAY_SUSPEND void BusyWaitUntil(SimTime until) {
     const SimTime start = engine_->now();
     if (until <= start) {
       return;

@@ -122,6 +122,9 @@ Engine::StackAuditResult Engine::AuditStacks() const {
   return result;
 }
 
+// adios-lint: ignore(suspend-safety) -- the RawSwitch below is inside the
+// scheduled lambda and runs on the main context later; the caller of
+// ResumeLater itself never suspends.
 void Engine::ResumeLater(UnithreadContext* ctx, SimDuration delay) {
   ADIOS_DCHECK(ctx != nullptr);
   Schedule(delay, [this, ctx] {

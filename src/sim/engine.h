@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/annotations.h"
 #include "src/base/check.h"
 #include "src/base/time.h"
 #include "src/check/stack_guard.h"
@@ -91,10 +92,10 @@ class Engine {
   EventHandle ScheduleCancellable(SimDuration delay, std::function<void()> fn);
 
   // Runs events until the queue empties or Stop() is called.
-  void Run();
+  ADIOS_MAY_SUSPEND void Run();
   // Runs events with time <= until; leaves later events queued and sets
   // now() to `until` when the horizon is reached.
-  void RunUntil(SimTime until);
+  ADIOS_MAY_SUSPEND void RunUntil(SimTime until);
   void Stop() { stopped_ = true; }
 
   // --- Fiber API ---
@@ -104,17 +105,19 @@ class Engine {
                     size_t stack_bytes = kDefaultFiberStack);
 
   // From inside any engine-managed context: suspend for `d` simulated time.
-  void Wait(SimDuration d);
+  ADIOS_MAY_SUSPEND void Wait(SimDuration d);
 
   // From inside any engine-managed context: suspend until resumed.
-  void SuspendCurrent();
+  ADIOS_MAY_SUSPEND void SuspendCurrent();
 
-  // Schedules `ctx` to resume after `delay`. Must not double-resume.
-  void ResumeLater(UnithreadContext* ctx, SimDuration delay = 0);
+  // Schedules `ctx` to resume after `delay`. Must not double-resume. Never
+  // suspends the *caller*: the switch happens inside the scheduled event,
+  // on the main context.
+  ADIOS_NO_SUSPEND void ResumeLater(UnithreadContext* ctx, SimDuration delay = 0);
 
   // Low-level switch that keeps current-context tracking coherent. `from`
   // must be the currently executing context.
-  void RawSwitch(UnithreadContext* from, UnithreadContext* to) {
+  ADIOS_MAY_SUSPEND void RawSwitch(UnithreadContext* from, UnithreadContext* to) {
     ADIOS_DCHECK(from == current_);
     current_ = to;
     AdiosTrackedContextSwitch(from, to);
@@ -123,7 +126,7 @@ class Engine {
 
   // From inside any engine-managed context: tracked switch back to the
   // engine's main (event-loop) context without changing blocked state.
-  void SwitchToMain() {
+  ADIOS_MAY_SUSPEND void SwitchToMain() {
     ADIOS_CHECK(!on_main());
     RawSwitch(current_, &main_ctx_);
   }

@@ -9,6 +9,7 @@
 
 #include <deque>
 
+#include "src/base/annotations.h"
 #include "src/sim/engine.h"
 
 namespace adios {
@@ -21,13 +22,14 @@ class WaitQueue {
   WaitQueue& operator=(const WaitQueue&) = delete;
 
   // Suspends the calling context until notified.
-  void Wait() {
+  ADIOS_MAY_SUSPEND void Wait() {
     waiters_.push_back(engine_->current_context());
     engine_->SuspendCurrent();
   }
 
   // Wakes the oldest waiter after `wake_delay`; returns false if none waited.
-  bool NotifyOne(SimDuration wake_delay = 0) {
+  // Never suspends the caller: safe to call with raw page-table state live.
+  ADIOS_NO_SUSPEND bool NotifyOne(SimDuration wake_delay = 0) {
     if (waiters_.empty()) {
       return false;
     }
@@ -37,7 +39,7 @@ class WaitQueue {
     return true;
   }
 
-  void NotifyAll(SimDuration wake_delay = 0) {
+  ADIOS_NO_SUSPEND void NotifyAll(SimDuration wake_delay = 0) {
     while (NotifyOne(wake_delay)) {
     }
   }

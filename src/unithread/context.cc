@@ -25,6 +25,25 @@
 #include <unordered_map>
 #endif
 
+// ThreadSanitizer fiber annotations, mirroring the ASan wiring at the same
+// stack-switch sites. Without __tsan_switch_to_fiber TSan attributes one
+// thread's many fiber stacks to a single shadow state and both misses real
+// races and fabricates impossible ones. ASan and TSan are mutually
+// exclusive (CMake rejects combining them), so at most one gate is set.
+#if defined(__SANITIZE_THREAD__)
+#define ADIOS_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ADIOS_TSAN_FIBERS 1
+#endif
+#endif
+
+#if defined(ADIOS_TSAN_FIBERS)
+#include <sanitizer/tsan_interface.h>
+
+#include <unordered_map>
+#endif
+
 namespace adios {
 namespace {
 
@@ -100,7 +119,89 @@ void SanFinishSwitch(const void* self_key) {
   }
 }
 
-#else  // !ADIOS_ASAN_FIBERS
+#elif defined(ADIOS_TSAN_FIBERS)
+
+// TSan fiber handles, keyed by the context's address (same keying as the
+// ASan side table). Contexts prepared by Reset() get a fresh fiber there;
+// "host" save slots (the engine's main context, a test's parent slot) have
+// no Reset — their handle is captured from __tsan_get_current_fiber the
+// first time execution switches away from them. `created` tells the two
+// apart: only handles we __tsan_create_fiber'd may be destroyed — a
+// captured handle is the OS thread's own fiber state, and keys are stack
+// addresses that later objects can legitimately reuse.
+struct TsanFiber {
+  void* handle;
+  bool created;
+};
+thread_local std::unordered_map<const void*, TsanFiber>* g_tsan_fibers = nullptr;
+// A dying context's fiber cannot be destroyed while still running on it;
+// it is stashed here and destroyed on the destination side after landing.
+thread_local void* g_tsan_pending_destroy = nullptr;
+
+std::unordered_map<const void*, TsanFiber>& TsanFibers() {
+  if (g_tsan_fibers == nullptr) {
+    g_tsan_fibers = new std::unordered_map<const void*, TsanFiber>();
+  }
+  return *g_tsan_fibers;
+}
+
+// Reset() reuses context slots: every Reset is a new logical fiber, so a
+// stale handle for the key (a recycled, suspended-and-abandoned context)
+// is destroyed before the replacement is created. A stale *captured* entry
+// just means the key's address was recycled for a new context; the host
+// handle it held is not ours to destroy.
+void SanNoteStack(const void* key, const void*, size_t) {
+  auto& fibers = TsanFibers();
+  auto it = fibers.find(key);
+  if (it != fibers.end()) {
+    if (it->second.created) {
+      __tsan_destroy_fiber(it->second.handle);
+    }
+    it->second = {__tsan_create_fiber(0), true};
+  } else {
+    fibers.emplace(key, TsanFiber{__tsan_create_fiber(0), true});
+  }
+}
+
+// Immediately before the asm switch (TSan's documented contract).
+void TsanStartSwitch(const void* from_key, bool from_dying, const void* to_key) {
+  auto& fibers = TsanFibers();
+  auto from = fibers.find(from_key);
+  if (from == fibers.end()) {
+    // Host save slot: the fiber currently executing is its identity.
+    from = fibers.emplace(from_key,
+                          TsanFiber{__tsan_get_current_fiber(), false}).first;
+  } else if (!from->second.created) {
+    // Re-capture on every switch-away: host keys are stack addresses that a
+    // later, different host slot can reuse, and its identity is always
+    // whatever fiber is executing right now.
+    from->second.handle = __tsan_get_current_fiber();
+  }
+  if (from_dying) {
+    // Only Reset() contexts die, so the handle is always ours to destroy.
+    ADIOS_CHECK(from->second.created);
+    g_tsan_pending_destroy = from->second.handle;
+    fibers.erase(from);
+  }
+  auto to = fibers.find(to_key);
+  // Every switch target was either Reset() (fresh fiber) or previously
+  // switched away from (handle captured above).
+  ADIOS_CHECK(to != fibers.end());
+  // flags=0: keep the happens-before edge — cooperative switches really do
+  // order memory accesses between fibers.
+  __tsan_switch_to_fiber(to->second.handle, 0);
+}
+
+// On the destination side after the stacks swapped: complete a dying
+// context's teardown now that nothing runs on its stack.
+void TsanFinishSwitch() {
+  if (g_tsan_pending_destroy != nullptr) {
+    __tsan_destroy_fiber(g_tsan_pending_destroy);
+    g_tsan_pending_destroy = nullptr;
+  }
+}
+
+#else  // !ADIOS_ASAN_FIBERS && !ADIOS_TSAN_FIBERS
 
 inline void SanNoteStack(const void*, const void*, size_t) {}
 
@@ -115,6 +216,8 @@ extern "C" void AdiosHeavyEntryThunk();
 extern "C" [[noreturn]] void AdiosUnithreadTrampoline(UnithreadContext* ctx) {
 #if defined(ADIOS_ASAN_FIBERS)
   SanFinishSwitch(ctx);  // First instruction on the new stack: land the switch.
+#elif defined(ADIOS_TSAN_FIBERS)
+  TsanFinishSwitch();
 #endif
   ADIOS_CHECK(ctx != nullptr);
   ADIOS_CHECK(ctx->entry != nullptr);
@@ -134,6 +237,8 @@ extern "C" [[noreturn]] void AdiosHeavyEntryTrampoline(ContextEntry entry, void*
                                                        [[maybe_unused]] HeavyContext* self) {
 #if defined(ADIOS_ASAN_FIBERS)
   SanFinishSwitch(self);
+#elif defined(ADIOS_TSAN_FIBERS)
+  TsanFinishSwitch();
 #endif
   ADIOS_CHECK(entry != nullptr);
   entry(arg);
@@ -155,6 +260,10 @@ void AdiosContextSwitch(UnithreadContext* from, UnithreadContext* to) {
   SanStartSwitch(from, from->finished(), to);
   AdiosContextSwitchAsm(from, to);
   SanFinishSwitch(from);
+#elif defined(ADIOS_TSAN_FIBERS)
+  TsanStartSwitch(from, from->finished(), to);
+  AdiosContextSwitchAsm(from, to);
+  TsanFinishSwitch();
 #else
   AdiosContextSwitchAsm(from, to);
 #endif
@@ -171,7 +280,7 @@ void SetContextSwitchObserver(ContextSwitchObserver observer, void* user) {
 }
 
 bool ContextSwitchesAreSanitized() {
-#if defined(ADIOS_ASAN_FIBERS)
+#if defined(ADIOS_ASAN_FIBERS) || defined(ADIOS_TSAN_FIBERS)
   return true;
 #else
   return false;
@@ -183,6 +292,10 @@ void AdiosHeavyContextSwitch(HeavyContext* from, HeavyContext* to) {
   SanStartSwitch(from, /*from_dying=*/false, to);
   AdiosHeavyContextSwitchAsm(from, to);
   SanFinishSwitch(from);
+#elif defined(ADIOS_TSAN_FIBERS)
+  TsanStartSwitch(from, /*from_dying=*/false, to);
+  AdiosHeavyContextSwitchAsm(from, to);
+  TsanFinishSwitch();
 #else
   AdiosHeavyContextSwitchAsm(from, to);
 #endif

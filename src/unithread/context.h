@@ -24,6 +24,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "src/base/annotations.h"
+
 namespace adios {
 
 enum class ContextState : uint32_t {
@@ -72,13 +74,14 @@ extern "C" void AdiosContextSwitchAsm(UnithreadContext* from, UnithreadContext* 
 // The annotated switch every runtime path uses. Refuses (ADIOS_CHECK) to
 // resume a finished context — the "double finish" bug class — and keeps
 // AddressSanitizer's shadow-stack bookkeeping coherent across the swap.
-void AdiosContextSwitch(UnithreadContext* from, UnithreadContext* to);
+ADIOS_MAY_SUSPEND void AdiosContextSwitch(UnithreadContext* from, UnithreadContext* to);
 
 // Same as AdiosContextSwitch, but marks the switch as going through an
 // engine-tracked scheduling path (Engine::RawSwitch or the unithread finish
 // trampoline). The switch-discipline checker (src/check/switch_discipline.h)
 // aborts on any switch touching a tracked context that skipped this path.
-void AdiosTrackedContextSwitch(UnithreadContext* from, UnithreadContext* to);
+ADIOS_MAY_SUSPEND void AdiosTrackedContextSwitch(UnithreadContext* from,
+                                                  UnithreadContext* to);
 
 // Hook invoked on every AdiosContextSwitch before the stacks swap. `tracked`
 // is true when the switch came through AdiosTrackedContextSwitch. Installed
@@ -112,7 +115,7 @@ static_assert(sizeof(HeavyContext) >= 968, "comparator must be at least ucontext
 extern "C" void AdiosHeavyContextSwitchAsm(HeavyContext* from, HeavyContext* to);
 
 // Annotated heavy switch (same sanitizer bookkeeping as the unithread one).
-void AdiosHeavyContextSwitch(HeavyContext* from, HeavyContext* to);
+ADIOS_MAY_SUSPEND void AdiosHeavyContextSwitch(HeavyContext* from, HeavyContext* to);
 
 }  // namespace adios
 

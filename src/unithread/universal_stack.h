@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/base/annotations.h"
 #include "src/base/check.h"
 #include "src/check/stack_guard.h"
 #include "src/unithread/context.h"
@@ -97,8 +98,8 @@ class UnithreadPool {
   UnithreadPool& operator=(const UnithreadPool&) = delete;
 
   // Returns an invalid buffer when the pool is exhausted.
-  UnithreadBuffer Acquire();
-  void Release(UnithreadBuffer buffer);
+  ADIOS_NO_SUSPEND UnithreadBuffer Acquire();
+  ADIOS_NO_SUSPEND void Release(UnithreadBuffer buffer);
 
   // Reconstructs the buffer for a pool index (contexts carry their index in
   // `id`, so completion wr_ids can name buffers).

@@ -1,0 +1,11 @@
+// adios-lint fixture: even inside src/base/, SimTime arithmetic must not
+// mix in wall-clock values without an explicit conversion.
+
+typedef unsigned long long SimTime;
+
+unsigned long long Tsc();
+
+SimTime BadMix(SimTime base) {
+  SimTime t = base + Tsc();  // expect: sim-time-hygiene
+  return t;
+}

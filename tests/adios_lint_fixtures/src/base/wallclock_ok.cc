@@ -1,0 +1,4 @@
+// adios-lint fixture: src/base/ is the one place wall-clock primitives are
+// allowed — no findings here.
+
+unsigned long long HostTsc() { return __rdtsc(); }

@@ -1,0 +1,9 @@
+// adios-lint fixture: default-off-knob requires every config-struct scalar
+// field to carry a default initializer and appear (backticked) in the docs
+// knob table (this fixture tree's docs/KNOBS.md).
+
+struct TuneConfig {
+  int documented_knob = 4;
+  int undocumented_knob = 2;   // expect: default-off-knob
+  double uninitialized_knob;   // expect: default-off-knob
+};

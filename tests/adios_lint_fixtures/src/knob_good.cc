@@ -1,0 +1,16 @@
+// adios-lint fixture: default-off-knob stays quiet when knobs are
+// defaulted and documented, skips non-scalar members' initializer check
+// (their own defaults apply), and ignores non-config structs entirely.
+
+struct Nested {
+  int inner = 0;
+};
+
+struct GoodConfig {
+  int good_knob = 1;
+  Nested nested;
+};
+
+struct NotTunable {
+  int whatever;
+};

@@ -1,0 +1,9 @@
+// adios-lint fixture: an ADIOS_NO_SUSPEND annotation is a verified claim —
+// a function carrying it whose body transitively reaches a suspension
+// point is itself a suspend-safety finding.
+
+ADIOS_MAY_SUSPEND void DoSuspend();
+
+ADIOS_NO_SUSPEND void ClaimsPure() {  // expect: suspend-safety
+  DoSuspend();
+}

@@ -1,0 +1,12 @@
+// adios-lint fixture: wall-clock sources are banned outside src/base/.
+
+#include <chrono>  // expect: sim-time-hygiene
+
+void BadWallClock() {
+  auto t = std::chrono::steady_clock::now();  // expect: sim-time-hygiene
+  (void)t;
+}
+
+unsigned long long BadTsc() {
+  return __rdtsc();  // expect: sim-time-hygiene
+}

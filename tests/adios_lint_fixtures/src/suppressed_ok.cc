@@ -1,0 +1,20 @@
+// adios-lint fixture: a documented suppression on the finding line (or the
+// comment block above it) silences the rule.
+
+struct PageEntry {
+  int state;
+};
+
+struct PageTable {
+  PageEntry& entry(unsigned long vpage);
+};
+
+ADIOS_MAY_SUSPEND void DoSuspend();
+
+void SuppressedUse(PageTable& pt) {
+  PageEntry& e = pt.entry(3);
+  DoSuspend();
+  // adios-lint: ignore(suspend-safety) -- fixture: reason goes here
+  int s = e.state;
+  (void)s;
+}

@@ -1,0 +1,40 @@
+// adios-lint fixture: suspend-safety must flag raw page-table state held
+// live across a call into a may-suspend function. Never compiled; lexed by
+// tests/adios_lint_test.py. `// expect: <rule>` marks required findings.
+
+struct PageEntry {
+  int state;
+  int pins;
+};
+
+struct PageTable {
+  PageEntry& entry(unsigned long vpage);
+};
+
+unsigned long SelectVictim();
+void Use(unsigned long frame);
+
+ADIOS_MAY_SUSPEND void DoSuspend();
+
+// Transitive taint: Helper never annotates anything, but the call graph
+// must propagate may-suspend from DoSuspend through it.
+void Helper() { DoSuspend(); }
+
+void BadDirect(PageTable& pt) {
+  PageEntry& e = pt.entry(42);
+  DoSuspend();
+  e.pins++;  // expect: suspend-safety
+}
+
+void BadTransitive(PageTable& pt) {
+  PageEntry* e = &pt.entry(7);
+  Helper();
+  int s = e->state;  // expect: suspend-safety
+  (void)s;
+}
+
+void BadVictim() {
+  unsigned long victim = SelectVictim();
+  DoSuspend();
+  Use(victim);  // expect: suspend-safety
+}

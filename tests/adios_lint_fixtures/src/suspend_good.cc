@@ -1,0 +1,41 @@
+// adios-lint fixture: suspend-safety must stay quiet on the clean
+// disciplines — re-fetch after suspension, and calls into functions that
+// never suspend.
+
+struct PageEntry {
+  int state;
+};
+
+struct PageTable {
+  PageEntry& entry(unsigned long vpage);
+};
+
+ADIOS_MAY_SUSPEND void DoSuspend();
+ADIOS_NO_SUSPEND int PureLookup(PageTable& pt);
+
+// The fetch-wait discipline: every post-suspension access re-fetches.
+void GoodRefetch(PageTable& pt) {
+  PageEntry& e = pt.entry(1);
+  int s = e.state;
+  DoSuspend();
+  PageEntry& e2 = pt.entry(1);
+  s = e2.state;
+  (void)s;
+}
+
+// Calls into a NO_SUSPEND function do not invalidate hazards.
+void GoodNoSuspendCall(PageTable& pt) {
+  PageEntry& e = pt.entry(2);
+  PureLookup(pt);
+  int s = e.state;
+  (void)s;
+}
+
+// Rebinding from the producer resets the hazard.
+void GoodRebind(PageTable& pt) {
+  PageEntry* e = &pt.entry(3);
+  DoSuspend();
+  e = &pt.entry(3);
+  int s = e->state;
+  (void)s;
+}

@@ -1,0 +1,24 @@
+// adios-lint fixture: trace-pairing must flag paired TraceEvents (kX with a
+// kXDone sibling) left open on any function exit.
+
+enum class TraceEvent {
+  kStall,
+  kStallDone,
+  kTxWait,
+};
+
+struct Tracer {
+  void Record(unsigned long t, unsigned long id, TraceEvent e, unsigned long arg);
+};
+
+void BadEarlyReturn(Tracer* tr, bool flag) {
+  tr->Record(0, 1, TraceEvent::kStall, 0);
+  if (flag) {
+    return;  // expect: trace-pairing
+  }
+  tr->Record(0, 1, TraceEvent::kStallDone, 0);
+}
+
+void BadNeverClosed(Tracer* tr) {
+  tr->Record(0, 2, TraceEvent::kStall, 0);
+}  // expect: trace-pairing

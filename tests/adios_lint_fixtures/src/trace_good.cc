@@ -1,0 +1,26 @@
+// adios-lint fixture: trace-pairing stays quiet when every exit closes its
+// events, and ignores events with no *Done sibling.
+
+enum class TraceEvent {
+  kFrameStall,
+  kFrameStallDone,
+  kTxWait,
+};
+
+struct Tracer {
+  void Record(unsigned long t, unsigned long id, TraceEvent e, unsigned long arg);
+};
+
+void GoodBalanced(Tracer* tr, bool fast) {
+  tr->Record(0, 1, TraceEvent::kFrameStall, 0);
+  if (fast) {
+    tr->Record(0, 1, TraceEvent::kFrameStallDone, 0);
+    return;
+  }
+  tr->Record(0, 1, TraceEvent::kFrameStallDone, 0);
+}
+
+// kTxWait has no kTxWaitDone: it is a point event, not a span.
+void GoodUnpaired(Tracer* tr) {
+  tr->Record(0, 3, TraceEvent::kTxWait, 0);
+}

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""End-to-end test for tools/adios_lint against the fixture corpus.
+
+Every fixture line carrying a ``// expect: <rule>`` marker must produce
+exactly one finding of that rule on that line, and the analyzer must
+produce nothing else. Also checks the exit-code contract:
+
+  0  no findings (clean subset run)
+  1  findings printed
+  2  usage error (unknown rule)
+
+Run directly (``python3 tests/adios_lint_test.py``) or via ctest as the
+``adios_lint_fixtures`` test. Stdlib only.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+FIXTURES = os.path.join(REPO_ROOT, "tests", "adios_lint_fixtures")
+LINT = os.path.join(REPO_ROOT, "tools", "adios_lint")
+
+EXPECT_RE = re.compile(r"//\s*expect:\s*([a-z-]+)")
+FINDING_RE = re.compile(r"^(.*?):(\d+): \[([a-z-]+)\] (.*)$")
+
+
+def collect_expected():
+    """Scan fixture sources for `// expect: rule` markers."""
+    expected = set()
+    src = os.path.join(FIXTURES, "src")
+    for dirpath, _, names in os.walk(src):
+        for name in sorted(names):
+            if not name.endswith((".h", ".hpp", ".cc", ".cpp")):
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, FIXTURES)
+            with open(path, encoding="utf-8") as f:
+                for lineno, line in enumerate(f, start=1):
+                    m = EXPECT_RE.search(line)
+                    if m:
+                        expected.add((rel, lineno, m.group(1)))
+    return expected
+
+
+def run_lint(args):
+    proc = subprocess.run(
+        [sys.executable, LINT] + args,
+        capture_output=True,
+        text=True,
+    )
+    return proc
+
+
+def parse_findings(stdout):
+    actual = set()
+    for line in stdout.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        m = FINDING_RE.match(line)
+        if not m:
+            raise AssertionError(f"unparseable finding line: {line!r}")
+        path, lineno, rule = m.group(1), int(m.group(2)), m.group(3)
+        rel = os.path.relpath(os.path.join(os.getcwd(), path), FIXTURES) \
+            if not os.path.isabs(path) else os.path.relpath(path, FIXTURES)
+        actual.add((rel, lineno, rule))
+    return actual
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    expected = collect_expected()
+    if not expected:
+        fail("no `// expect:` markers found -- fixture corpus missing?")
+
+    # Full corpus: every marker fires, nothing else does, exit code 1.
+    proc = run_lint(["--root", FIXTURES, os.path.join(FIXTURES, "src")])
+    if proc.returncode != 1:
+        fail(
+            f"expected exit 1 on fixture corpus, got {proc.returncode}\n"
+            f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+        )
+    actual = parse_findings(proc.stdout)
+    missing = expected - actual
+    unexpected = actual - expected
+    if missing or unexpected:
+        lines = []
+        for rel, lineno, rule in sorted(missing):
+            lines.append(f"  missing:    {rel}:{lineno} [{rule}]")
+        for rel, lineno, rule in sorted(unexpected):
+            lines.append(f"  unexpected: {rel}:{lineno} [{rule}]")
+        fail("finding mismatch:\n" + "\n".join(lines))
+
+    # Clean subset: the known-good files alone produce nothing, exit 0.
+    good = [
+        os.path.join(FIXTURES, "src", name)
+        for name in ("suspend_good.cc", "trace_good.cc", "knob_good.cc",
+                     "suppressed_ok.cc")
+    ]
+    proc = run_lint(["--root", FIXTURES] + good)
+    if proc.returncode != 0 or proc.stdout.strip():
+        fail(
+            f"expected clean run on good fixtures, got exit "
+            f"{proc.returncode}\nstdout:\n{proc.stdout}"
+        )
+
+    # Usage error: unknown rule name exits 2.
+    proc = run_lint(["--root", FIXTURES, "--rules", "no-such-rule",
+                     os.path.join(FIXTURES, "src")])
+    if proc.returncode != 2:
+        fail(f"expected exit 2 for unknown rule, got {proc.returncode}")
+
+    print(f"OK: {len(expected)} expected findings matched, "
+          f"clean subset clean, usage errors exit 2")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -85,9 +85,9 @@ TEST(UniversalStack, MinimumSizeBufferHasUsableStack) {
   pool.Release(buf);
 }
 
-#if !defined(__SANITIZE_ADDRESS__)
-// Redzones inflate frames under ASan, so only the plain build runs real code
-// on the ~512-byte minimum stack.
+#if !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__)
+// Redzones (ASan) and instrumented frames (TSan) inflate stack use, so only
+// the plain build runs real code on the ~512-byte minimum stack.
 void TinyEntry(void* arg) { *static_cast<int*>(arg) = 7; }
 
 TEST(UniversalStack, EntryRunsOnMinimumSizeStack) {

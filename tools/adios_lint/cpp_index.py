@@ -1,0 +1,371 @@
+"""Per-translation-unit index: functions, annotated prototypes, enums, and
+config structs.
+
+The parser is a brace-context machine over the lexer's token stream. It
+tracks namespace/class scopes exactly, records every function *definition*
+with its body token range, and fast-forwards through the bodies so nothing
+inside a function (lambdas, local classes) can confuse the scope stack.
+It understands just enough C++ for this codebase's style: out-of-line
+`Class::Method` definitions, inline methods, constructor initializer
+lists, `template <...>` headers, attributes, and `alignas`.
+
+It does not try to resolve types or overloads -- the call graph matches by
+name, conservatively (see callgraph.py).
+"""
+
+from . import lexer
+
+ANNOTATION_MAY_SUSPEND = "ADIOS_MAY_SUSPEND"
+ANNOTATION_NO_SUSPEND = "ADIOS_NO_SUSPEND"
+_ANNOTATIONS = (ANNOTATION_MAY_SUSPEND, ANNOTATION_NO_SUSPEND)
+
+# Keywords that can directly precede a `(` without being a call/definition.
+CONTROL_KEYWORDS = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
+    "alignas", "decltype", "new", "delete", "throw", "co_await", "co_return",
+    "static_assert", "noexcept", "else", "do", "case", "default", "typeid",
+    "assert",
+}
+
+_TRAILER_IDS = {"const", "noexcept", "override", "final", "mutable"}
+
+
+class FunctionDef:
+    __slots__ = ("name", "qualifier", "file", "line", "body_start", "body_end",
+                 "annotations", "decl_only", "may_suspend", "taint_path")
+
+    def __init__(self, name, qualifier, file, line, body_start=-1, body_end=-1,
+                 annotations=()):
+        self.name = name
+        self.qualifier = qualifier  # Innermost class name, or "".
+        self.file = file            # LexedFile
+        self.line = line
+        self.body_start = body_start  # Token index of `{` (definitions only).
+        self.body_end = body_end      # Token index of matching `}`.
+        self.annotations = set(annotations)
+        self.decl_only = body_start < 0
+        self.may_suspend = False
+        self.taint_path = None  # (callee_name, line) that tainted this fn.
+
+    @property
+    def qualname(self):
+        return f"{self.qualifier}::{self.name}" if self.qualifier else self.name
+
+    def body_tokens(self):
+        if self.decl_only:
+            return []
+        return self.file.tokens[self.body_start:self.body_end + 1]
+
+    def __repr__(self):
+        return f"FunctionDef({self.qualname} @ {self.file.path}:{self.line})"
+
+
+class FieldDef:
+    __slots__ = ("name", "line", "type_tokens", "initialized")
+
+    def __init__(self, name, line, type_tokens, initialized):
+        self.name = name
+        self.line = line
+        self.type_tokens = type_tokens
+        self.initialized = initialized
+
+
+class StructDef:
+    __slots__ = ("name", "qualifier", "file", "line", "fields")
+
+    def __init__(self, name, qualifier, file, line):
+        self.name = name
+        self.qualifier = qualifier
+        self.file = file
+        self.line = line
+        self.fields = []
+
+    @property
+    def qualname(self):
+        return f"{self.qualifier}::{self.name}" if self.qualifier else self.name
+
+
+class FileIndex:
+    __slots__ = ("lexed", "functions", "structs", "enums")
+
+    def __init__(self, lexed):
+        self.lexed = lexed
+        self.functions = []  # FunctionDef (definitions + annotated prototypes)
+        self.structs = []    # StructDef
+        self.enums = {}      # {name: [member names]}
+
+
+def _match_forward(tokens, open_idx):
+    """Index of the `}` matching the `{` at open_idx."""
+    depth = 0
+    i = open_idx
+    n = len(tokens)
+    while i < n:
+        t = tokens[i].text
+        if t == "{":
+            depth += 1
+        elif t == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return n - 1
+
+
+def _class_name_from(tokens, buf, keyword):
+    """First depth-0 identifier after `keyword` that names the class/enum."""
+    depth = 0
+    seen_kw = False
+    for idx in buf:
+        t = tokens[idx]
+        if not seen_kw:
+            if t.kind == lexer.KIND_ID and t.text == keyword:
+                seen_kw = True
+            continue
+        if t.text in "([":
+            depth += 1
+        elif t.text in ")]":
+            depth -= 1
+        elif depth == 0 and t.text == ":":
+            break  # Inheritance list / underlying type.
+        elif depth == 0 and t.kind == lexer.KIND_ID:
+            if t.text in ("alignas", "final", "class", "struct"):
+                continue
+            return t.text
+    return ""
+
+
+def _try_function_at_brace(tokens, brace_idx):
+    """If the `{` at brace_idx opens a function body, returns
+    (name, explicit_qualifier, name_line); else None."""
+    k = brace_idx - 1
+    guard = 0
+    while k >= 0:
+        guard += 1
+        if guard > 4096:
+            return None
+        t = tokens[k]
+        if t.kind == lexer.KIND_ID and t.text in _TRAILER_IDS:
+            k -= 1
+            continue
+        break
+    if k < 0 or tokens[k].text != ")":
+        return None
+    # Walk the (possibly repeated, for ctor init lists) `name(...)` groups.
+    while True:
+        depth = 1
+        k -= 1
+        guard = 0
+        while k >= 0 and depth > 0:
+            guard += 1
+            if guard > 65536:
+                return None
+            t = tokens[k].text
+            if t == ")":
+                depth += 1
+            elif t == "(":
+                depth -= 1
+            k -= 1
+        if k < 0:
+            return None
+        name_tok = tokens[k]
+        if name_tok.kind != lexer.KIND_ID:
+            # `operator==(`, `](`, `>(` ... not a plain function we index.
+            return None
+        if name_tok.text in CONTROL_KEYWORDS:
+            return None
+        # Explicit qualifier chain: `Class::name`.
+        qual_parts = []
+        q = k
+        while q >= 2 and tokens[q - 1].text == "::" and \
+                tokens[q - 2].kind == lexer.KIND_ID:
+            qual_parts.insert(0, tokens[q - 2].text)
+            q -= 2
+        prev = tokens[q - 1].text if q >= 1 else ""
+        if prev in (":", ","):
+            # Constructor-initializer entry; keep walking left for the
+            # parameter list (`Ctor(...) : a_(x), b_(y) {`).
+            k = q - 2
+            guard = 0
+            while k >= 0 and tokens[k].text != ")":
+                guard += 1
+                if guard > 256:
+                    return None
+                k -= 1
+            if k < 0:
+                return None
+            continue
+        qualifier = qual_parts[-1] if qual_parts else ""
+        return (name_tok.text, qualifier, name_tok.line)
+
+
+def _statement_annotations(tokens, buf):
+    return {tokens[i].text for i in buf
+            if tokens[i].kind == lexer.KIND_ID and tokens[i].text in _ANNOTATIONS}
+
+
+_FIELD_SKIP_LEAD = {"using", "typedef", "static", "friend", "template",
+                    "public", "private", "protected", "explicit", "virtual",
+                    "operator", "enum", "class", "struct"}
+
+
+def _field_from_statement(tokens, buf):
+    """Parses a class-level `type name [= init];` statement into a FieldDef,
+    or returns None for methods / using / access specifiers / etc."""
+    ids = [i for i in buf if tokens[i].kind == lexer.KIND_ID]
+    if not ids:
+        return None
+    if tokens[ids[0]].text in _FIELD_SKIP_LEAD:
+        return None
+    # A `(` before any `=` / `{` means a method or constructor declaration.
+    init_pos = None
+    for pos, i in enumerate(buf):
+        t = tokens[i].text
+        if t in ("=", "{"):
+            init_pos = pos
+            break
+        if t == "(":
+            return None
+    declarator = buf if init_pos is None else buf[:init_pos]
+    decl_ids = [i for i in declarator if tokens[i].kind == lexer.KIND_ID]
+    if len(decl_ids) < 2:
+        return None  # Need at least `type name`.
+    name_idx = decl_ids[-1]
+    type_tokens = [tokens[i].text for i in declarator if i != name_idx]
+    return FieldDef(tokens[name_idx].text, tokens[name_idx].line, type_tokens,
+                    init_pos is not None)
+
+
+def index_file(lexed):
+    """Builds the FileIndex for one lexed file."""
+    idx = FileIndex(lexed)
+    tokens = lexed.tokens
+    n = len(tokens)
+    scope = []  # ('namespace'|'class', name) -- classes may carry StructDef.
+    buf = []    # Token indices of the current decl-level statement.
+    i = 0
+
+    def innermost_class():
+        for kind, name, _ in reversed(scope):
+            if kind == "class":
+                return name
+        return ""
+
+    def current_struct():
+        if scope and scope[-1][0] == "class":
+            return scope[-1][2]
+        return None
+
+    while i < n:
+        t = tokens[i]
+        text = t.text
+
+        if text == "{":
+            buf_texts = {tokens[b].text for b in buf
+                         if tokens[b].kind == lexer.KIND_ID}
+            if "enum" in buf_texts:
+                name = _class_name_from(tokens, buf, "enum")
+                end = _match_forward(tokens, i)
+                members = []
+                expect_name = True
+                j = i + 1
+                while j < end:
+                    tj = tokens[j]
+                    if expect_name and tj.kind == lexer.KIND_ID:
+                        members.append(tj.text)
+                        expect_name = False
+                    elif tj.text == ",":
+                        expect_name = True
+                    elif tj.text in ("{", "("):
+                        j = _match_forward(tokens, j) if tj.text == "{" else j
+                    j += 1
+                if name:
+                    idx.enums[name] = members
+                buf = []
+                i = end + 1
+                continue
+            if ("class" in buf_texts or "struct" in buf_texts or
+                    "union" in buf_texts) and \
+                    not any(tokens[b].text == "=" for b in buf):
+                kw = "class" if "class" in buf_texts else (
+                    "struct" if "struct" in buf_texts else "union")
+                name = _class_name_from(tokens, buf, kw)
+                sd = StructDef(name, innermost_class(), lexed, t.line)
+                scope.append(("class", name, sd))
+                buf = []
+                i += 1
+                continue
+            if "namespace" in buf_texts or \
+                    (buf and tokens[buf[0]].text == "extern"):
+                name = _class_name_from(tokens, buf, "namespace")
+                scope.append(("namespace", name, None))
+                buf = []
+                i += 1
+                continue
+            fn = _try_function_at_brace(tokens, i)
+            if fn is not None:
+                name, explicit_qual, line = fn
+                end = _match_forward(tokens, i)
+                qualifier = explicit_qual or innermost_class()
+                f = FunctionDef(name, qualifier, lexed, line, i, end,
+                                _statement_annotations(tokens, buf))
+                idx.functions.append(f)
+                buf = []
+                i = end + 1
+                continue
+            # Generic block (initializer braces etc.): part of the statement.
+            end = _match_forward(tokens, i)
+            buf.extend(range(i, end + 1))
+            i = end + 1
+            continue
+
+        if text == "}":
+            done = scope.pop() if scope else ("block", "", None)
+            if done[0] == "class" and done[2] is not None:
+                idx.structs.append(done[2])
+            buf = []
+            i += 1
+            continue
+
+        if text == ";":
+            if buf:
+                sd = current_struct()
+                if sd is not None:
+                    field = _field_from_statement(tokens, buf)
+                    if field is not None:
+                        sd.fields.append(field)
+                anns = _statement_annotations(tokens, buf)
+                if anns and any(tokens[b].text == "(" for b in buf):
+                    # Annotated prototype: record so the annotation applies
+                    # even when the definition lives elsewhere.
+                    name = None
+                    qual = ""
+                    line = t.line
+                    for pos, b in enumerate(buf):
+                        if tokens[b].text == "(" and pos > 0 and \
+                                tokens[buf[pos - 1]].kind == lexer.KIND_ID and \
+                                tokens[buf[pos - 1]].text not in CONTROL_KEYWORDS:
+                            name = tokens[buf[pos - 1]].text
+                            line = tokens[buf[pos - 1]].line
+                            if pos >= 3 and tokens[buf[pos - 2]].text == "::" and \
+                                    tokens[buf[pos - 3]].kind == lexer.KIND_ID:
+                                qual = tokens[buf[pos - 3]].text
+                            break
+                    if name is not None:
+                        idx.functions.append(FunctionDef(
+                            name, qual or innermost_class(), lexed, line,
+                            annotations=anns))
+            buf = []
+            i += 1
+            continue
+
+        if text == ":" and len(buf) == 1 and \
+                tokens[buf[0]].text in ("public", "private", "protected"):
+            buf = []
+            i += 1
+            continue
+
+        buf.append(i)
+        i += 1
+
+    return idx

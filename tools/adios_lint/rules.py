@@ -1,0 +1,411 @@
+"""The adios-lint rule catalog.
+
+Each rule is a static complement to one of the runtime invariant checks:
+
+  suspend-safety    <- InvariantChecker's page-state machine (src/check/):
+                       raw PageEntry pointers / frame indices held live
+                       across a call into a may-suspend function are stale.
+  trace-pairing     <- Tracer stall accounting: every paired TraceEvent
+                       (kX / kXDone) must be closed on every function exit.
+  sim-time-hygiene  <- the SimTime discipline: wall-clock sources live only
+                       in src/base/; SimTime arithmetic never mixes them in.
+  default-off-knob  <- SystemConfig presets: every config knob carries an
+                       explicit default initializer and appears in a docs
+                       knob table.
+
+Suppression: `// adios-lint: ignore(rule[,rule]) -- reason` on the finding
+line or the line above; `ignore(all)` silences every rule for that line.
+"""
+
+import os
+import re
+
+from . import cpp_index
+
+RULE_SUSPEND = "suspend-safety"
+RULE_TRACE = "trace-pairing"
+RULE_SIMTIME = "sim-time-hygiene"
+RULE_KNOB = "default-off-knob"
+
+ALL_RULES = (RULE_SUSPEND, RULE_TRACE, RULE_SIMTIME, RULE_KNOB)
+
+_SUPPRESS_RE = re.compile(r"adios-lint:\s*ignore\(([^)]*)\)")
+
+
+class Finding:
+    __slots__ = ("path", "line", "rule", "message")
+
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def render(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def is_suppressed(lexed, line, rule):
+    """True if the finding line, or the contiguous comment block directly
+    above it, carries a matching `adios-lint: ignore(...)`."""
+    probes = [line]
+    p = line - 1
+    while p in lexed.comments and len(probes) < 8:
+        probes.append(p)
+        p -= 1
+    for probe in probes:
+        comment = lexed.comments.get(probe)
+        if not comment:
+            continue
+        m = _SUPPRESS_RE.search(comment)
+        if not m:
+            continue
+        rules = {r.strip() for r in m.group(1).split(",")}
+        if rule in rules or "all" in rules:
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# suspend-safety
+# ---------------------------------------------------------------------------
+
+# Types whose raw references/pointers go stale across a suspension: the page
+# table can be remapped, the frame reused, the entry rewritten.
+HAZARD_TYPES = {"PageEntry"}
+
+# Calls whose *return value* is a hazard: a page-table entry reference or a
+# victim frame index that a concurrent evictor/fetcher may invalidate.
+HAZARD_PRODUCERS = {"entry": "page-table entry",
+                    "SelectVictim": "victim frame index"}
+
+
+def _match_paren_forward(tokens, open_idx, end):
+    depth = 0
+    i = open_idx
+    while i <= end:
+        t = tokens[i].text
+        if t == "(":
+            depth += 1
+        elif t == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return end
+
+
+def _check_suspend_safety(fn, graph, findings):
+    tokens = fn.file.tokens
+    path = fn.file.path
+    # var name -> {"kind": description, "state": "live" | "suspended",
+    #              "by": (callee, line), "reported": bool}
+    hazards = {}
+    i = fn.body_start + 1
+    end = fn.body_end
+    while i < end:
+        t = tokens[i]
+        if t.kind != "id":
+            i += 1
+            continue
+        nxt = tokens[i + 1].text if i + 1 < end else ""
+
+        # Declaration of a hazard-typed local: `PageEntry* e`, `const
+        # PageEntry& e`.  Scan forward over cv/ref tokens to the name.
+        if t.text in HAZARD_TYPES and nxt in ("*", "&"):
+            j = i + 1
+            while j < end and tokens[j].text in ("*", "&", "const"):
+                j += 1
+            if j < end and tokens[j].kind == "id":
+                hazards[tokens[j].text] = {
+                    "kind": f"raw {t.text} reference", "state": "live",
+                    "by": None, "reported": False}
+                i = j + 1
+                continue
+
+        # Binding from a hazard producer: `auto& e = entry(v)`,
+        # `uint64_t victim = mm_->SelectVictim()`.
+        if t.text in HAZARD_PRODUCERS and nxt == "(":
+            # Look left for `target =`.
+            k = i - 1
+            while k > fn.body_start and tokens[k].text in ("::", ".", "->") :
+                k -= 2  # Skip `mm_->` / `pt_.` receiver chains.
+            if k > fn.body_start and tokens[k].text == "&":
+                k -= 1  # Address-of: `e = &pt.entry(v)`.
+            if k > fn.body_start and tokens[k].text == "=" and \
+                    tokens[k - 1].kind == "id":
+                hazards[tokens[k - 1].text] = {
+                    "kind": HAZARD_PRODUCERS[t.text], "state": "live",
+                    "by": None, "reported": False}
+            i += 1  # Keep walking into the args: they may use stale hazards.
+            continue
+
+        # A call into a may-suspend function: everything held live is now
+        # stale.  Uses *inside* the call's argument list happen before the
+        # suspension, so skip past the closing paren first.
+        if nxt == "(" and t.text not in cpp_index.CONTROL_KEYWORDS and \
+                graph.is_suspending_name(t.text):
+            close = _match_paren_forward(tokens, i + 1, end)
+            for h in hazards.values():
+                if h["state"] == "live":
+                    h["state"] = "suspended"
+                    h["by"] = (t.text, t.line)
+            i = close + 1
+            continue
+
+        # Use of a hazard variable.
+        h = hazards.get(t.text)
+        if h is not None:
+            if nxt == "=" and tokens[i - 1].text not in ("*", ".", "->"):
+                # Plain reassignment: the old binding dies here.  If the RHS
+                # is a hazard producer, its branch re-binds the name; a store
+                # through the pointer (`*e = ...`) is still a use.
+                del hazards[t.text]
+                i += 1
+                continue
+            if h["state"] == "suspended" and not h["reported"]:
+                callee, cline = h["by"]
+                if not is_suppressed(fn.file, t.line, RULE_SUSPEND):
+                    findings.append(Finding(
+                        path, t.line, RULE_SUSPEND,
+                        f"'{t.text}' ({h['kind']}) used after possible "
+                        f"suspension in '{callee}' (line {cline}); re-fetch "
+                        f"it after the call or annotate the callee "
+                        f"ADIOS_NO_SUSPEND"))
+                h["reported"] = True
+        i += 1
+
+
+def _check_no_suspend_annotations(graph, findings):
+    for fn in graph.no_suspend_violations():
+        callee, line = fn.taint_path
+        if not is_suppressed(fn.file, fn.line, RULE_SUSPEND):
+            findings.append(Finding(
+                fn.file.path, fn.line, RULE_SUSPEND,
+                f"'{fn.qualname}' is annotated ADIOS_NO_SUSPEND but may "
+                f"reach a suspension point via '{callee}' (line {line})"))
+
+
+# ---------------------------------------------------------------------------
+# trace-pairing
+# ---------------------------------------------------------------------------
+
+def _trace_pairs(indexes):
+    """{opener: closer} derived from any enum named TraceEvent: member kX is
+    paired when kXDone exists."""
+    pairs = {}
+    for idx in indexes:
+        members = idx.enums.get("TraceEvent")
+        if not members:
+            continue
+        mset = set(members)
+        for m in members:
+            if m + "Done" in mset:
+                pairs[m] = m + "Done"
+    return pairs
+
+
+def _check_trace_pairing(fn, pairs, findings):
+    if not pairs:
+        return
+    closers = {v: k for k, v in pairs.items()}
+    tokens = fn.file.tokens
+    open_counts = {}
+    i = fn.body_start + 1
+    end = fn.body_end
+
+    def report(line):
+        pending = sorted(k for k, v in open_counts.items() if v > 0)
+        if pending and not is_suppressed(fn.file, line, RULE_TRACE):
+            findings.append(Finding(
+                fn.file.path, line, RULE_TRACE,
+                f"'{fn.qualname}' exits with unclosed trace event(s) "
+                f"{', '.join(pending)}: record the matching *Done before "
+                f"every return"))
+
+    while i < end:
+        t = tokens[i]
+        if t.kind == "id" and t.text == "Record" and i + 1 < end and \
+                tokens[i + 1].text == "(":
+            close = _match_paren_forward(tokens, i + 1, end)
+            for j in range(i + 2, close):
+                tj = tokens[j]
+                if tj.kind != "id":
+                    continue
+                if tj.text in pairs:
+                    open_counts[tj.text] = open_counts.get(tj.text, 0) + 1
+                elif tj.text in closers:
+                    base = closers[tj.text]
+                    open_counts[base] = max(0, open_counts.get(base, 0) - 1)
+            i = close + 1
+            continue
+        if t.kind == "id" and t.text == "return":
+            report(t.line)
+            # Reset so one unbalanced path reports once, not at every
+            # later return too.
+            open_counts = {k: 0 for k in open_counts}
+        i += 1
+    report(fn.file.tokens[end].line)
+
+
+# ---------------------------------------------------------------------------
+# sim-time-hygiene
+# ---------------------------------------------------------------------------
+
+WALL_CLOCK_IDS = {
+    "chrono", "steady_clock", "system_clock", "high_resolution_clock",
+    "gettimeofday", "clock_gettime", "timespec", "timeval",
+    "__rdtsc", "__rdtscp", "rdtsc", "rdtscp",
+    "Tsc", "TscFenced", "MeasureTscGhz",
+}
+
+WALL_CLOCK_INCLUDES = ("<chrono>", "<ctime>", "<sys/time.h>",
+                       "<x86intrin.h>", "<time.h>")
+
+SIMTIME_TYPES = {"SimTime", "SimDuration"}
+_ARITH_OPS = {"+", "-", "*", "/", "+=", "-="}
+
+
+def _in_base(path, root):
+    rel = os.path.relpath(os.path.abspath(path), os.path.abspath(root))
+    parts = rel.replace(os.sep, "/").split("/")
+    return parts[:2] == ["src", "base"]
+
+
+def _check_sim_time(lexed, root, findings):
+    exempt = _in_base(lexed.path, root)
+    if not exempt:
+        for line, text in lexed.pp_lines:
+            if "include" not in text:
+                continue
+            for inc in WALL_CLOCK_INCLUDES:
+                if inc in text:
+                    if not is_suppressed(lexed, line, RULE_SIMTIME):
+                        findings.append(Finding(
+                            lexed.path, line, RULE_SIMTIME,
+                            f"wall-clock include {inc} outside src/base/: "
+                            f"simulation code must use SimTime (src/base/"
+                            f"time.h); wall-clock sources live in src/base/ "
+                            f"only"))
+                    break
+        seen_lines = set()
+        for t in lexed.tokens:
+            if t.kind == "id" and t.text in WALL_CLOCK_IDS and \
+                    t.line not in seen_lines:
+                seen_lines.add(t.line)
+                if not is_suppressed(lexed, t.line, RULE_SIMTIME):
+                    findings.append(Finding(
+                        lexed.path, t.line, RULE_SIMTIME,
+                        f"wall-clock identifier '{t.text}' outside "
+                        f"src/base/: derive time from the Engine clock "
+                        f"(SimTime), not the host"))
+
+    # Everywhere (src/base included): no statement may mix SimTime
+    # arithmetic with a wall-clock value.
+    stmt = []
+    for t in lexed.tokens:
+        if t.text in (";", "{", "}"):
+            _check_mix_stmt(lexed, stmt, findings)
+            stmt = []
+        else:
+            stmt.append(t)
+    _check_mix_stmt(lexed, stmt, findings)
+
+
+def _check_mix_stmt(lexed, stmt, findings):
+    has_sim = any(t.kind == "id" and t.text in SIMTIME_TYPES for t in stmt)
+    if not has_sim:
+        return
+    wall = next((t for t in stmt
+                 if t.kind == "id" and t.text in WALL_CLOCK_IDS), None)
+    if wall is None:
+        return
+    if not any(t.text in _ARITH_OPS for t in stmt):
+        return
+    if not is_suppressed(lexed, wall.line, RULE_SIMTIME):
+        findings.append(Finding(
+            lexed.path, wall.line, RULE_SIMTIME,
+            f"statement mixes SimTime arithmetic with wall-clock value "
+            f"'{wall.text}': convert explicitly at the src/base boundary"))
+
+
+# ---------------------------------------------------------------------------
+# default-off-knob
+# ---------------------------------------------------------------------------
+
+_CONFIG_SUFFIXES = ("Config", "Options", "Params", "Policy")
+
+_SCALAR_TYPES = {
+    "bool", "char", "short", "int", "long", "unsigned", "signed",
+    "float", "double", "size_t", "ssize_t", "uintptr_t", "intptr_t",
+    "int8_t", "int16_t", "int32_t", "int64_t",
+    "uint8_t", "uint16_t", "uint32_t", "uint64_t",
+    "SimTime", "SimDuration", "RemoteAddr",
+}
+
+
+def is_config_struct(sd):
+    return sd.name == "SystemConfig" or sd.name.endswith(_CONFIG_SUFFIXES)
+
+
+def _is_scalar_field(field, enum_names):
+    tt = field.type_tokens
+    if "*" in tt:
+        return True
+    return any(x in _SCALAR_TYPES or x in enum_names for x in tt)
+
+
+def _check_knobs(indexes, docs_text, findings):
+    enum_names = set()
+    for idx in indexes:
+        enum_names.update(idx.enums.keys())
+    for idx in indexes:
+        for sd in idx.structs:
+            if not is_config_struct(sd):
+                continue
+            # A suppression on the struct declaration line covers every
+            # field (for *Params records that are data, not tunables).
+            if is_suppressed(idx.lexed, sd.line, RULE_KNOB):
+                continue
+            for f in sd.fields:
+                scalar = _is_scalar_field(f, enum_names)
+                if scalar and not f.initialized:
+                    if not is_suppressed(idx.lexed, f.line, RULE_KNOB):
+                        findings.append(Finding(
+                            idx.lexed.path, f.line, RULE_KNOB,
+                            f"config knob '{sd.qualname}::{f.name}' has no "
+                            f"default initializer: every knob must be "
+                            f"default-off / explicitly defaulted"))
+                if docs_text is not None and f"`{f.name}`" not in docs_text:
+                    if not is_suppressed(idx.lexed, f.line, RULE_KNOB):
+                        findings.append(Finding(
+                            idx.lexed.path, f.line, RULE_KNOB,
+                            f"config knob '{sd.qualname}::{f.name}' is not "
+                            f"documented: add it (backticked) to the knob "
+                            f"table (docs/KNOBS.md)"))
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+def run_rules(indexes, graph, root, docs_text, enabled=None):
+    enabled = set(enabled) if enabled else set(ALL_RULES)
+    findings = []
+    pairs = _trace_pairs(indexes)
+    for idx in indexes:
+        if RULE_SIMTIME in enabled:
+            _check_sim_time(idx.lexed, root, findings)
+        for fn in idx.functions:
+            if fn.decl_only:
+                continue
+            if RULE_SUSPEND in enabled:
+                _check_suspend_safety(fn, graph, findings)
+            if RULE_TRACE in enabled:
+                _check_trace_pairing(fn, pairs, findings)
+    if RULE_SUSPEND in enabled:
+        _check_no_suspend_annotations(graph, findings)
+    if RULE_KNOB in enabled:
+        _check_knobs(indexes, docs_text, findings)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
