@@ -37,13 +37,19 @@ ArrayApp::Options Workload() {
 RunResult RunPoint(const std::string& system, double load, const FaultInjector::Options& fault,
                    const BenchTiming& timing) {
   SystemConfig cfg = system == "DiLOS" ? SystemConfig::DiLOS() : SystemConfig::Adios();
-  if (system == "Adios-R2") {
+  if (system == "Adios-R2" || system == "Adios-R2V") {
     // Same scheduler as Adios, but pages are replicated across two memory
     // nodes: fetch-retry exhaustion fails over instead of aborting
     // (docs/FAILOVER.md), so `failed` should stay at zero where the
     // retry-only column aborts.
     cfg.replication.num_nodes = 2;
     cfg.replication.replicas = 2;
+  }
+  if (system == "Adios-R2V") {
+    // R2 plus verify-on-fetch (docs/INTEGRITY.md): every fetched page is
+    // checksum-verified before mapping. On a lossy-but-uncorrupted fabric
+    // the column shows the pure verification overhead.
+    cfg.integrity.verify = true;
   }
   cfg.local_memory_ratio = EnvDouble("ADIOS_BENCH_FAULT_LOCAL", 0.1);
   cfg.fault = fault;
@@ -72,7 +78,7 @@ void Run() {
   const BenchTiming timing = DefaultTiming();
   const double load = EnvDouble("ADIOS_BENCH_FAULT_LOAD", 1.2e6);
   const double knee_load = EnvDouble("ADIOS_BENCH_FAULT_KNEE_LOAD", 2.6e6);
-  const std::vector<std::string> systems = {"DiLOS", "Adios", "Adios-R2"};
+  const std::vector<std::string> systems = {"DiLOS", "Adios", "Adios-R2", "Adios-R2V"};
 
   PrintHeader("Fault tolerance (a)", "goodput and tail vs READ loss rate");
   std::vector<double> losses = {0.0, 0.001, 0.01, 0.05};
@@ -121,7 +127,7 @@ void Run() {
   combined.brownout_duration_ns = Microseconds(100);
   TablePrinter combo_table({"point", "system", "goodput(K)", "P99.9(us)", "retries", "failed",
                             "failovers", "drops", "wasted"});
-  double goodput[3] = {0, 0, 0};
+  double goodput[4] = {0, 0, 0, 0};
   for (size_t s = 0; s < systems.size(); ++s) {
     RunResult r = RunPoint(systems[s], knee_load, combined, timing);
     goodput[s] = r.goodput_rps;

@@ -101,6 +101,18 @@ inline BenchJsonRow JsonRowOf(const std::string& label, const RunResult& r) {
     row.extra.emplace_back("scale_downs", static_cast<double>(r.ctrl.scale_downs));
     row.extra.emplace_back("mean_active_workers", r.ctrl.mean_active_workers);
   }
+  if (r.integrity.enabled) {
+    // Integrity outcomes ride along so a corruption sweep can correlate
+    // goodput with what was caught, healed, or silently served.
+    row.extra.emplace_back("corrupt_detected", static_cast<double>(r.integrity.detected));
+    row.extra.emplace_back("corrupt_repaired", static_cast<double>(r.integrity.repaired));
+    row.extra.emplace_back("corrupt_unrepairable",
+                           static_cast<double>(r.integrity.unrepairable));
+    row.extra.emplace_back("scrub_pages", static_cast<double>(r.integrity.scrub_pages));
+    row.extra.emplace_back("scrub_finds", static_cast<double>(r.integrity.scrub_finds));
+    row.extra.emplace_back("served_corrupt",
+                           static_cast<double>(r.integrity.served_corrupt));
+  }
   return row;
 }
 

@@ -43,6 +43,13 @@ struct CheckOptions {
   // reaches exactly one kDone, up to requests dropped at the RX ring.
   bool audit_trace = true;
 
+  // Audit the integrity layer's checksum ledger (when one is wired along
+  // with a placement map): every detected-but-unrepaired slot must be marked
+  // divergent in the placement map, and — incrementally, a window of pages
+  // per audit — the recorded digest of every in-sync replica of a cold
+  // remote page must match a fresh recompute of the region.
+  bool audit_integrity = true;
+
   // Simulated nanoseconds between periodic audits; 0 = only the final audit.
   uint64_t audit_interval_ns = 100'000;
 

@@ -55,6 +55,65 @@ void InvariantChecker::AuditNow() {
   if (options_.audit_trace) {
     AuditTraceOrdering();
   }
+  if (options_.audit_integrity) {
+    AuditChecksumCoverage();
+  }
+}
+
+void InvariantChecker::AuditChecksumCoverage() {
+  if (deps_.integrity == nullptr || deps_.placement == nullptr || deps_.mm == nullptr) {
+    return;
+  }
+  const IntegrityLayer& in = *deps_.integrity;
+  // (a) Quarantine coverage: a slot the layer has detected as corrupt and not
+  // yet repaired must be marked divergent in the placement map, or the read
+  // path could still route a fetch to the known-bad copy.
+  in.ForEachOutstanding([&](uint64_t vpage, uint32_t slot) {
+    const uint32_t node = in.NodeOfSlot(vpage, slot);
+    if (deps_.placement->InSync(vpage, node)) {
+      std::ostringstream os;
+      os << "page " << vpage << " slot " << slot << " (node " << node
+         << ") has an outstanding corruption but is still in sync";
+      Violation("corrupt replica not quarantined", os.str());
+    }
+  });
+  // (b) Ledger freshness, a window of pages per audit so periodic audits stay
+  // cheap: for a cold remote page with no write-back in flight, every in-sync
+  // replica's recorded digest must match a fresh recompute of the region.
+  // Checker-poisoned pages are skipped — their region bytes are deliberately
+  // scrambled (poison_evicted_pages), which is not modeled corruption.
+  constexpr uint64_t kIntegrityAuditWindow = 1024;
+  const uint64_t pages =
+      std::min<uint64_t>(in.num_pages(), deps_.mm->page_table().num_pages());
+  if (pages == 0) {
+    return;
+  }
+  const uint64_t window = std::min<uint64_t>(pages, kIntegrityAuditWindow);
+  for (uint64_t i = 0; i < window; ++i) {
+    const uint64_t vpage = integrity_cursor_++ % pages;
+    if (deps_.mm->page_table().entry(vpage).state != PageState::kRemote) {
+      continue;
+    }
+    if (PageIsPoisoned(vpage)) {
+      continue;
+    }
+    if (deps_.reclaimer != nullptr && deps_.reclaimer->WritebackInFlight(vpage)) {
+      continue;
+    }
+    const uint64_t expect = in.ComputeChecksum(vpage);
+    for (uint32_t slot = 0; slot < in.replicas(); ++slot) {
+      const uint32_t node = in.NodeOfSlot(vpage, slot);
+      if (!deps_.placement->InSync(vpage, node)) {
+        continue;  // Divergent copies lag the region by definition.
+      }
+      if (in.ChecksumOf(vpage, slot) != expect) {
+        std::ostringstream os;
+        os << "page " << vpage << " slot " << slot << " (node " << node
+           << ") is in sync but its recorded digest does not match the region";
+        Violation("checksum ledger drifted from region", os.str());
+      }
+    }
+  }
 }
 
 void InvariantChecker::AuditTraceOrdering() {
@@ -122,9 +181,14 @@ void InvariantChecker::AuditTraceOrdering() {
       // Fetch-pipeline events carry the id of the *initiating* request; a
       // prefetch posted on its behalf can time out, retry, or fail over
       // after that request completed, so only arrival is required.
+      // kCorrupt rides the same rule: a scrub or re-silver detection records
+      // request id 0 (skipped above); a demand-path detection carries the
+      // faulting request, which may have completed if the detection came
+      // from a prefetch posted on its behalf.
       case TraceEvent::kFetchTimeout:
       case TraceEvent::kRetry:
       case TraceEvent::kFailover:
+      case TraceEvent::kCorrupt:
         if ((st & kTraceArrived) == 0) {
           violation(rec, "fetch-pipeline event for an unknown request");
         }
@@ -133,6 +197,8 @@ void InvariantChecker::AuditTraceOrdering() {
       case TraceEvent::kNodeDead:
       case TraceEvent::kResilverDone:
       case TraceEvent::kScale:
+      case TraceEvent::kScrubStart:
+      case TraceEvent::kScrubDone:
         violation(rec, "system-level event with a nonzero request id");
         break;
       // Overload-control drops (docs/OVERLOAD.md) are terminal at arrival:
@@ -211,11 +277,14 @@ void InvariantChecker::AuditFrameConservation() {
       deps_.reclaimer != nullptr ? deps_.reclaimer->writebacks_inflight() : 0;
   const uint64_t resilver =
       deps_.reclaimer != nullptr ? deps_.reclaimer->resilver_frames_held() : 0;
+  const uint64_t scrub =
+      deps_.reclaimer != nullptr ? deps_.reclaimer->scrub_frames_held() : 0;
   const uint64_t used = deps_.mm->used_frames();
-  if (resident + fetching + writebacks + resilver != used) {
+  if (resident + fetching + writebacks + resilver + scrub != used) {
     std::ostringstream os;
     os << "resident " << resident << " + fetching " << fetching << " + writebacks " << writebacks
-       << " + resilver " << resilver << " != used frames " << used << " (leak or double-release)";
+       << " + resilver " << resilver << " + scrub " << scrub << " != used frames " << used
+       << " (leak or double-release)";
     Violation("frame conservation violated", os.str());
   }
   if (deps_.reclaimer != nullptr &&

@@ -8,7 +8,8 @@
 //
 // Audited invariants (CheckOptions selects which):
 //   * Frame conservation: resident + fetching + writebacks-in-flight +
-//     resilver bounce frames equals the memory manager's used frames — a
+//     resilver and scrub bounce frames equals the memory manager's used
+//     frames — a
 //     leak on any path (fetch abort, eviction, write-back completion,
 //     re-silver copy) shifts the balance. The replicated write-back fan-out
 //     is additionally audited: pages with a fan-out in flight must equal
@@ -38,6 +39,7 @@
 
 #include "src/check/check_options.h"
 #include "src/check/switch_discipline.h"
+#include "src/integrity/integrity.h"
 #include "src/mem/memory_manager.h"
 #include "src/mem/reclaimer.h"
 #include "src/mem/remote_heap.h"
@@ -58,6 +60,11 @@ class InvariantChecker {
     RdmaFabric* fabric = nullptr;   // QP work-conservation audit.
     UnithreadPool* pool = nullptr;  // Universal-stack canary audit.
     Tracer* tracer = nullptr;       // Trace-stream grammar/termination audit.
+    // Checksum-ledger audit (audit_integrity); both must be set for it to
+    // run — without a placement map there is no divergence state to check
+    // detections against.
+    const IntegrityLayer* integrity = nullptr;
+    const PlacementMap* placement = nullptr;
     // Requests dropped at the RX ring (they get kArrive but never kDone);
     // consulted by the final termination audit. Unset means "expect zero".
     std::function<uint64_t()> rx_dropped;
@@ -113,6 +120,10 @@ class InvariantChecker {
   void AuditPageTableCounters();
   void AuditQpConservation();
   void AuditStacks();
+  // Checksum-ledger audit: detections must be quarantined in the placement
+  // map, and (incrementally, kIntegrityAuditWindow pages per call) recorded
+  // digests of clean in-sync slots must match the region.
+  void AuditChecksumCoverage();
   // Incremental: validates records()[trace_cursor_..] and advances the
   // cursor, so periodic audits stay O(total records) across a whole run.
   void AuditTraceOrdering();
@@ -137,6 +148,7 @@ class InvariantChecker {
     kTraceDone = 8,
   };
   std::unordered_map<uint64_t, uint8_t> trace_state_;
+  uint64_t integrity_cursor_ = 0;  // Next page the checksum audit inspects.
   size_t trace_cursor_ = 0;
   SimTime trace_last_time_ = 0;
   uint64_t trace_arrived_ = 0;

@@ -79,6 +79,22 @@ MdSystem::MdSystem(const SystemConfig& config, Application* app) : config_(confi
     config_.retry.enabled = true;
   }
 
+  // --- Data integrity (docs/INTEGRITY.md) ---
+  if (config_.integrity.enabled()) {
+    if (config_.integrity.verify) {
+      // A verify failure is handled by the same pipeline as a failed fetch
+      // (corruption is the one fault class the fabric reports as success).
+      config_.retry.enabled = true;
+    }
+    integrity_ = std::make_unique<IntegrityLayer>(config_.integrity, region_.get(),
+                                                  mm_opts.total_pages, page_bytes, num_nodes,
+                                                  config_.replication.replicas);
+    fabric_->set_corrupt_hook([this](uint64_t wr_id, uint32_t /*node*/, WorkType type) {
+      integrity_->OnWireCorrupt(wr_id, type == WorkType::kWrite);
+    });
+    integrity_->RegisterMetrics(&metrics_);
+  }
+
   // --- Replication (docs/FAILOVER.md) ---
   if (config_.replication.enabled()) {
     placement_ = std::make_unique<PlacementMap>(mm_opts.total_pages, num_nodes,
@@ -145,9 +161,23 @@ MdSystem::MdSystem(const SystemConfig& config, Application* app) : config_(confi
       w->set_placement(placement_.get());
       w->set_node_health(health_.get());
     }
+    if (integrity_ != nullptr) {
+      w->set_integrity(integrity_.get());
+    }
   }
   if (health_ != nullptr) {
     health_->RegisterMetrics(&metrics_);
+  }
+  if (placement_ != nullptr) {
+    // Per-node divergence counters: a node that keeps diverging (dropped
+    // write-backs, corrupt payloads) stands out where the global total
+    // would hide it.
+    for (uint32_t node = 0; node < num_nodes; ++node) {
+      metrics_.RegisterProbe(
+          "placement.divergence_events", MetricLabels::Node(node), [this, node] {
+            return static_cast<double>(placement_->divergence_events_for(node));
+          });
+    }
   }
 
   // --- Overload control (docs/OVERLOAD.md) ---
@@ -193,8 +223,23 @@ MdSystem::MdSystem(const SystemConfig& config, Application* app) : config_(confi
   reclaim_opts.retry = config_.retry;
   reclaim_opts.resilver_bw_gbps = config_.replication.resilver_bw_gbps;
   reclaim_opts.resilver_max_attempts = config_.replication.resilver_max_attempts;
+  reclaim_opts.scrub_enabled = config_.integrity.scrub;
+  reclaim_opts.scrub_bw_gbps = config_.integrity.scrub_bw_gbps;
+  reclaim_opts.scrub_batch_pages = config_.integrity.scrub_batch_pages;
+  reclaim_opts.scrub_pass_gap_ns = config_.integrity.scrub_pass_gap_ns;
   reclaimer_ = std::make_unique<Reclaimer>(&engine_, reclaimer_core_.get(), mm_.get(),
                                            reclaim_qp, reclaim_opts);
+  if (integrity_ != nullptr) {
+    reclaimer_->set_integrity(integrity_.get());
+    reclaimer_->set_tracer(&tracer_);
+    if (config_.replication.enabled()) {
+      // With a second copy available, detections queue a repair through the
+      // re-silver machinery; without one they count as unrepairable.
+      integrity_->set_repair_fn([this](uint64_t vpage, uint32_t node) {
+        reclaimer_->RequestRepair(vpage, node);
+      });
+    }
+  }
   if (config_.replication.enabled()) {
     reclaimer_->set_placement(placement_.get());
     reclaimer_->set_node_health(health_.get());
@@ -227,9 +272,18 @@ MdSystem::MdSystem(const SystemConfig& config, Application* app) : config_(confi
     deps.fabric = fabric_.get();
     deps.pool = pool_.get();
     deps.tracer = &tracer_;
+    deps.integrity = integrity_.get();
+    deps.placement = placement_.get();
     deps.rx_dropped = [this] { return dispatcher_->stats().dropped; };
     checker_ = std::make_unique<InvariantChecker>(check_opts, deps);
     checker_->Install();
+    if (integrity_ != nullptr && check_opts.poison_evicted_pages) {
+      // Poison-on-evict deliberately scrambles evicted pages' region bytes;
+      // teach the layer to skip its digest recompute there, or every fetch
+      // of a poisoned page would read as corrupt.
+      integrity_->set_recompute_filter(
+          [this](uint64_t vpage) { return checker_->PageIsPoisoned(vpage); });
+    }
   }
 }
 
@@ -271,6 +325,11 @@ RunResult MdSystem::Run(double offered_rps, SimDuration warmup_ns, SimDuration m
     // (Engine::Run runs until the queue empties) can terminate; a final
     // AuditNow() below covers the drained state.
     checker_->SchedulePeriodicAudits(warmup_ns + measure_ns);
+  }
+  if (integrity_ != nullptr && config_.integrity.scrub) {
+    // Scrub ticks stop at the planned window end like the controller's, so
+    // the drain phase terminates.
+    reclaimer_->StartScrub(warmup_ns + measure_ns);
   }
 
   // Warmup: fill the local cache, then open the measurement window.
@@ -398,6 +457,15 @@ RunResult MdSystem::Run(double offered_rps, SimDuration warmup_ns, SimDuration m
   }
   if (busy_ns > 0) {
     r.busy_wait_fraction = static_cast<double>(busy_wait_ns) / static_cast<double>(busy_ns);
+  }
+  if (integrity_ != nullptr) {
+    r.integrity.enabled = true;
+    r.integrity.detected = integrity_->detected();
+    r.integrity.repaired = integrity_->repaired();
+    r.integrity.unrepairable = integrity_->unrepairable();
+    r.integrity.scrub_pages = integrity_->scrub_pages();
+    r.integrity.scrub_finds = integrity_->scrub_finds();
+    r.integrity.served_corrupt = integrity_->served_corrupt();
   }
   if (ctrl_ != nullptr) {
     r.ctrl.enabled = true;

@@ -15,6 +15,7 @@
 #include "src/core/run_result.h"
 #include "src/core/system_config.h"
 #include "src/ctrl/overload_control.h"
+#include "src/integrity/integrity.h"
 #include "src/mem/memory_manager.h"
 #include "src/mem/reclaimer.h"
 #include "src/net/load_generator.h"
@@ -65,6 +66,8 @@ class MdSystem {
   InvariantChecker* invariant_checker() { return checker_.get(); }
   // Null unless config.ctrl.enabled() (docs/OVERLOAD.md).
   OverloadController* overload_controller() { return ctrl_.get(); }
+  // Null unless config.integrity.enabled() (docs/INTEGRITY.md).
+  IntegrityLayer* integrity() { return integrity_.get(); }
   std::vector<std::unique_ptr<Worker>>& workers() { return workers_; }
   RemoteRegion& region() { return *region_; }
   const SystemConfig& config() const { return config_; }
@@ -81,6 +84,7 @@ class MdSystem {
   std::unique_ptr<RdmaFabric> fabric_;
   std::unique_ptr<PlacementMap> placement_;
   std::unique_ptr<NodeHealthMonitor> health_;
+  std::unique_ptr<IntegrityLayer> integrity_;
   std::unique_ptr<MemoryManager> mm_;
   std::vector<std::unique_ptr<CpuCore>> worker_cores_;
   std::unique_ptr<CpuCore> dispatcher_core_;

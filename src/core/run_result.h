@@ -106,6 +106,19 @@ struct RunResult {
   };
   CtrlStats ctrl;
 
+  // --- Data integrity (docs/INTEGRITY.md; enabled=false and all zero when
+  // SystemConfig.integrity is off) ---
+  struct IntegrityStats {
+    bool enabled = false;
+    uint64_t detected = 0;       // Corrupt payloads caught (verify or scrub).
+    uint64_t repaired = 0;       // Replica repair copies that landed.
+    uint64_t unrepairable = 0;   // Detections with no second copy to heal from.
+    uint64_t scrub_pages = 0;    // Pages the background scrubber read.
+    uint64_t scrub_finds = 0;    // Detections credited to the scrubber.
+    uint64_t served_corrupt = 0; // Corrupt payloads the app consumed (verify off).
+  };
+  IntegrityStats integrity;
+
   // Trace records dropped at the tracer's capacity (0 unless tracing was
   // enabled with too small a cap); printed by the bench tables so a
   // truncated timeline is never mistaken for a quiet run.

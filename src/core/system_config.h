@@ -18,6 +18,7 @@
 #include "src/base/time.h"
 #include "src/check/check_options.h"
 #include "src/ctrl/ctrl_config.h"
+#include "src/integrity/integrity_config.h"
 #include "src/mem/reclaimer.h"
 #include "src/rdma/fault_injector.h"
 #include "src/rdma/node_health.h"
@@ -60,6 +61,15 @@ struct SystemConfig {
   // tick events enter the engine, and the dispatcher's ctrl hooks stay null.
   // Enable any of admission/shedding/scaling via its flag in CtrlConfig.
   CtrlConfig ctrl;
+
+  // End-to-end data integrity (docs/INTEGRITY.md). Default-off and
+  // bit-identical to the pre-integrity system: no checksum map is built, no
+  // verify cycles are charged, and no scrub events enter the engine. Enable
+  // `verify` for checksum-verified fetches (forces retry.enabled so detected
+  // corruption can retry/fail over), `scrub` for the background scrubber,
+  // or `oracle` to count silently-served corruption without changing the
+  // datapath.
+  IntegrityConfig integrity;
 
   // Paging granularity (log2 bytes): 12 = 4 KiB compute-node pages as in
   // the paper; 21 = 2 MiB huge pages (512x I/O amplification, §5.2).

@@ -1,0 +1,171 @@
+#include "src/integrity/integrity.h"
+
+#include <algorithm>
+
+#include "src/obs/metric_registry.h"
+
+namespace adios {
+
+IntegrityLayer::IntegrityLayer(const IntegrityConfig& config, const RemoteRegion* region,
+                               uint64_t num_pages, uint64_t page_bytes,
+                               uint32_t num_nodes, uint32_t replicas)
+    : config_(config),
+      region_(region),
+      num_pages_(num_pages),
+      page_bytes_(page_bytes),
+      num_nodes_(num_nodes),
+      replicas_(replicas) {
+  ADIOS_CHECK(region != nullptr);
+  ADIOS_CHECK(replicas >= 1 && replicas <= num_nodes);
+  // Prime the map from the post-setup region: every replica of a page starts
+  // in sync with ground truth, so the digest is the same for every slot.
+  sums_.resize(num_pages * replicas);
+  for (uint64_t vpage = 0; vpage < num_pages; ++vpage) {
+    const uint64_t sum = ComputeChecksum(vpage);
+    for (uint32_t slot = 0; slot < replicas; ++slot) {
+      sums_[SlotKey(vpage, slot)] = sum;
+    }
+  }
+}
+
+uint64_t IntegrityLayer::ComputeChecksum(uint64_t vpage) const {
+  const uint64_t begin = vpage * page_bytes_;
+  if (begin >= region_->size()) {
+    // Pages past the region (page table larger than the heap) digest empty.
+    return PageChecksum(nullptr, 0, config_.checksum_seed);
+  }
+  const uint64_t len = std::min<uint64_t>(page_bytes_, region_->size() - begin);
+  return PageChecksum(region_->data() + begin, len, config_.checksum_seed);
+}
+
+void IntegrityLayer::OnWireCorrupt(uint64_t wr_id, bool is_write) {
+  (is_write ? wire_write_ : wire_read_).insert(wr_id);
+}
+
+bool IntegrityLayer::PayloadCorrupt(uint64_t wr_id, uint64_t vpage, uint32_t node,
+                                    bool recompute) {
+  // Wire corruption consumes regardless of the ledger outcome: one flag, one
+  // completion.
+  const bool wire = wire_read_.erase(wr_id) != 0;
+  if (wire) {
+    return true;
+  }
+  const int slot = SlotOf(vpage, node);
+  if (slot < 0) {
+    return false;  // Reading from a node that hosts no copy never happens,
+                   // but the layer degrades to "clean" rather than aborting.
+  }
+  const uint64_t key = SlotKey(vpage, static_cast<uint32_t>(slot));
+  if (stored_poison_.count(key) != 0) {
+    return true;
+  }
+  // Real recompute on the clean path: catches a slot whose recorded digest
+  // went stale against the region (a lost write-back), and makes the verify
+  // cycles charged to the worker an honest model of hashing 4 KB.
+  if (recompute_skip_ && recompute_skip_(vpage)) {
+    return false;
+  }
+  return recompute && ComputeChecksum(vpage) != sums_[key];
+}
+
+bool IntegrityLayer::VerifyFetch(uint64_t wr_id, uint64_t vpage, uint32_t node) {
+  // Demand/prefetch READs verify while the page is kFetching, when nothing
+  // can mutate the region page, so the recompute is always meaningful.
+  const bool corrupt = PayloadCorrupt(wr_id, vpage, node, /*recompute=*/true);
+  if (!config_.verify) {
+    // Poison oracle: the payload is mapped and served as-is; only the ledger
+    // remembers the app just consumed corrupted bytes.
+    if (corrupt) {
+      ++served_corrupt_;
+    }
+    return true;
+  }
+  return !corrupt;
+}
+
+bool IntegrityLayer::CheckPayload(uint64_t wr_id, uint64_t vpage, uint32_t node,
+                                  bool recompute) {
+  return !PayloadCorrupt(wr_id, vpage, node, recompute);
+}
+
+void IntegrityLayer::OnWritePosted(uint64_t wr_id, uint64_t vpage) {
+  posted_sums_[wr_id] = ComputeChecksum(vpage);
+}
+
+bool IntegrityLayer::OnCorruptionDetected(uint64_t vpage, uint32_t node, bool from_scrub) {
+  const int slot = SlotOf(vpage, node);
+  if (slot < 0) {
+    return false;
+  }
+  const uint64_t key = SlotKey(vpage, static_cast<uint32_t>(slot));
+  if (!outstanding_.insert(key).second) {
+    return false;  // Already known (repair in flight or unrepairable).
+  }
+  ++detected_count_;
+  if (from_scrub) {
+    ++scrub_finds_;
+  }
+  if (repair_fn_) {
+    repair_fn_(vpage, node);
+  } else {
+    // No second copy to repair from. The slot stays outstanding forever so
+    // re-detections of the same page do not recount.
+    ++unrepairable_;
+  }
+  return true;
+}
+
+void IntegrityLayer::OnReplicaWritten(uint64_t wr_id, uint64_t vpage, uint32_t node) {
+  uint64_t sum;
+  const auto sit = posted_sums_.find(wr_id);
+  if (sit != posted_sums_.end()) {
+    sum = sit->second;
+    posted_sums_.erase(sit);
+  } else {
+    sum = ComputeChecksum(vpage);
+  }
+  const int slot = SlotOf(vpage, node);
+  if (slot < 0) {
+    wire_write_.erase(wr_id);
+    return;
+  }
+  const uint64_t key = SlotKey(vpage, static_cast<uint32_t>(slot));
+  // Either way the slot's digest is what the writer intended (the post-time
+  // snapshot); a wire-corrupted WRITE means the stored copy no longer
+  // matches that intent.
+  sums_[key] = sum;
+  if (wire_write_.erase(wr_id) != 0) {
+    stored_poison_.insert(key);
+  } else {
+    stored_poison_.erase(key);
+  }
+  if (outstanding_.erase(key) != 0) {
+    // The repair copy landed (possibly itself poisoned — a later verify or
+    // scrub pass re-detects that case).
+    ++repaired_;
+  }
+}
+
+void IntegrityLayer::ForEachOutstanding(
+    const std::function<void(uint64_t, uint32_t)>& fn) const {
+  for (const uint64_t key : outstanding_) {
+    fn(key / replicas_, static_cast<uint32_t>(key % replicas_));
+  }
+}
+
+void IntegrityLayer::RegisterMetrics(MetricRegistry* registry) {
+  registry->RegisterProbe("integrity.detected", {},
+                          [this] { return static_cast<double>(detected_count_); });
+  registry->RegisterProbe("integrity.repaired", {},
+                          [this] { return static_cast<double>(repaired_); });
+  registry->RegisterProbe("integrity.unrepairable", {},
+                          [this] { return static_cast<double>(unrepairable_); });
+  registry->RegisterProbe("integrity.scrub_pages", {},
+                          [this] { return static_cast<double>(scrub_pages_); });
+  registry->RegisterProbe("integrity.scrub_finds", {},
+                          [this] { return static_cast<double>(scrub_finds_); });
+  registry->RegisterProbe("integrity.served_corrupt", {},
+                          [this] { return static_cast<double>(served_corrupt_); });
+}
+
+}  // namespace adios

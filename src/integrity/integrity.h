@@ -1,0 +1,194 @@
+// End-to-end data-integrity layer (docs/INTEGRITY.md).
+//
+// The simulator keeps one ground-truth byte array (RemoteRegion): residency
+// and replication affect timing and availability, never contents. Silent
+// corruption is therefore modeled as a *ledger* over that array:
+//
+//   * ChecksumMap — the digest each replica slot of each vpage SHOULD carry,
+//     primed from the region at startup and refreshed whenever a write-back
+//     or re-silver/repair WRITE lands on that slot.
+//   * wire flags  — READ/WRITE WQEs the fault injector corrupted in flight
+//     (keyed by wr_id, consumed by exactly one completion).
+//   * stored poison — replica slots whose *stored* copy is bad because a
+//     corrupted WRITE landed there; cleared when a clean WRITE lands.
+//
+// A fetched payload is corrupt iff its READ was wire-corrupted, or its source
+// slot is store-poisoned, or the slot's recorded digest no longer matches the
+// region (a lost update). Verification recomputes the page digest for real on
+// the clean path, so the verify cost charged to the worker core is honest.
+//
+// Detection bookkeeping keeps the conservation law the invariant checker
+// audits:  detected == repaired + outstanding  (unrepairable entries stay
+// outstanding forever — there is no second copy to repair from).
+
+#ifndef ADIOS_SRC_INTEGRITY_INTEGRITY_H_
+#define ADIOS_SRC_INTEGRITY_INTEGRITY_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/integrity/integrity_config.h"
+#include "src/integrity/page_checksum.h"
+#include "src/mem/remote_heap.h"
+
+namespace adios {
+
+class MetricRegistry;
+
+class IntegrityLayer {
+ public:
+  // `region` must outlive the layer. `replicas` >= 1; slot k of vpage lives
+  // on node (vpage + k) % num_nodes (same placement formula as PlacementMap,
+  // so the layer works unreplicated where no PlacementMap exists).
+  IntegrityLayer(const IntegrityConfig& config, const RemoteRegion* region,
+                 uint64_t num_pages, uint64_t page_bytes, uint32_t num_nodes,
+                 uint32_t replicas);
+
+  IntegrityLayer(const IntegrityLayer&) = delete;
+  IntegrityLayer& operator=(const IntegrityLayer&) = delete;
+
+  const IntegrityConfig& config() const { return config_; }
+
+  // Called by the fabric (via MdSystem's hook) when the injector corrupts a
+  // WQE's payload in flight. READ flags are consumed by the fetch/scrub/
+  // re-silver completion that observes them; WRITE flags by OnReplicaWritten.
+  void OnWireCorrupt(uint64_t wr_id, bool is_write);
+
+  // Demand/prefetch path, called once per successful READ completion before
+  // the frame is mapped. Returns true when the payload may be mapped. With
+  // `verify` off this always returns true but still consumes the wire flag
+  // and counts silently-served corruption (the poison oracle).
+  bool VerifyFetch(uint64_t wr_id, uint64_t vpage, uint32_t node);
+
+  // Always-on payload check (the scrubber and the re-silver source read ARE
+  // verification, independent of the demand-path `verify` knob). Returns
+  // true when the payload is clean. `recompute` gates the digest-vs-region
+  // comparison: callers pass false when the page went resident while the
+  // READ was in flight (the region may legitimately be newer than any stored
+  // copy); wire/poison evidence is still consulted — and consumed — exactly.
+  bool CheckPayload(uint64_t wr_id, uint64_t vpage, uint32_t node, bool recompute = true);
+
+  // Captures the digest a WRITE posted right now will carry (the region's
+  // current contents), keyed by wr_id. OnReplicaWritten prefers this
+  // snapshot over a completion-time recompute, so a page re-fetched and
+  // re-dirtied while its write-back is in flight cannot skew the ledger.
+  void OnWritePosted(uint64_t wr_id, uint64_t vpage);
+
+  // Records a detection on (vpage, node). Returns true when newly detected
+  // (not already outstanding). Invokes the repair hook when one is set;
+  // otherwise the slot is unrepairable and stays outstanding.
+  bool OnCorruptionDetected(uint64_t vpage, uint32_t node, bool from_scrub);
+
+  // A WRITE (write-back fan-out, re-silver, or repair) landed on (vpage,
+  // node): consume its wire flag, refresh the slot's digest from the region,
+  // and settle poison/outstanding state. Wire-corrupted WRITEs leave the
+  // slot store-poisoned (latent re-corruption a later verify or scrub run
+  // finds again).
+  void OnReplicaWritten(uint64_t wr_id, uint64_t vpage, uint32_t node);
+
+  // One scrub READ consumed (accounting only).
+  void OnScrubPage() { ++scrub_pages_; }
+
+  // Repair hook: (vpage, node) -> queue a repair copy. Set only when a
+  // second in-sync copy exists (replication on).
+  void set_repair_fn(std::function<void(uint64_t, uint32_t)> fn) {
+    repair_fn_ = std::move(fn);
+  }
+
+  // Pages for which the digest-vs-region recompute must be skipped (wire and
+  // stored-poison evidence still applies). MdSystem wires this to the
+  // invariant checker's poison-on-evict set: those region bytes are
+  // deliberately scrambled while the page is out, which is debugging aid,
+  // not modeled corruption.
+  void set_recompute_filter(std::function<bool(uint64_t)> skip) {
+    recompute_skip_ = std::move(skip);
+  }
+
+  // Worker-core cycles one verify-on-fetch costs (0 when `verify` is off).
+  uint64_t VerifyCost() const { return config_.verify ? config_.verify_cycles : 0; }
+
+  void RegisterMetrics(MetricRegistry* registry);
+
+  // --- Counters (RunResult::integrity, bench assertions) ---
+  uint64_t detected() const { return detected_count_; }
+  uint64_t repaired() const { return repaired_; }
+  uint64_t unrepairable() const { return unrepairable_; }
+  uint64_t scrub_pages() const { return scrub_pages_; }
+  uint64_t scrub_finds() const { return scrub_finds_; }
+  // Corrupted payloads delivered to the app with verification off.
+  uint64_t served_corrupt() const { return served_corrupt_; }
+
+  // --- Checker surface (src/check/invariant_checker.cc) ---
+  uint32_t num_nodes() const { return num_nodes_; }
+  uint32_t replicas() const { return replicas_; }
+  uint64_t num_pages() const { return num_pages_; }
+  uint32_t NodeOfSlot(uint64_t vpage, uint32_t slot) const {
+    return static_cast<uint32_t>((vpage + slot) % num_nodes_);
+  }
+  uint64_t ChecksumOf(uint64_t vpage, uint32_t slot) const {
+    return sums_[SlotKey(vpage, slot)];
+  }
+  // Recomputes the digest of vpage's current region contents.
+  uint64_t ComputeChecksum(uint64_t vpage) const;
+  bool StoredPoisoned(uint64_t vpage, uint32_t slot) const {
+    return stored_poison_.count(SlotKey(vpage, slot)) != 0;
+  }
+  bool Outstanding(uint64_t vpage, uint32_t slot) const {
+    return outstanding_.count(SlotKey(vpage, slot)) != 0;
+  }
+  void ForEachOutstanding(const std::function<void(uint64_t, uint32_t)>& fn) const;
+
+ private:
+  // Replica slot of `node` for vpage; -1 when the node hosts no copy.
+  int SlotOf(uint64_t vpage, uint32_t node) const {
+    const uint32_t slot =
+        static_cast<uint32_t>((node + num_nodes_ - (vpage % num_nodes_)) % num_nodes_);
+    return slot < replicas_ ? static_cast<int>(slot) : -1;
+  }
+  uint64_t SlotKey(uint64_t vpage, uint32_t slot) const {
+    ADIOS_DCHECK(slot < replicas_);
+    return vpage * replicas_ + slot;
+  }
+  // True when the payload of this completed READ is corrupt. Consumes the
+  // read-wire flag for wr_id.
+  bool PayloadCorrupt(uint64_t wr_id, uint64_t vpage, uint32_t node, bool recompute);
+
+  IntegrityConfig config_;
+  const RemoteRegion* region_;
+  uint64_t num_pages_;
+  uint64_t page_bytes_;
+  uint32_t num_nodes_;
+  uint32_t replicas_;
+
+  // Digest each (vpage, slot) should verify against, vpage * replicas + slot.
+  std::vector<uint64_t> sums_;
+  // In-flight corrupted WQEs, keyed by wr_id. READ and WRITE live in
+  // separate sets because a worker fetch wr_id (== vpage) can collide with a
+  // write-back wr_id for the same page.
+  std::unordered_set<uint64_t> wire_read_;
+  std::unordered_set<uint64_t> wire_write_;
+  // Slots whose stored copy is bad (a corrupted WRITE landed).
+  std::unordered_set<uint64_t> stored_poison_;
+  // Post-time digest snapshots of in-flight WRITEs, keyed by wr_id.
+  std::unordered_map<uint64_t, uint64_t> posted_sums_;
+  // Detected, not yet repaired.
+  std::unordered_set<uint64_t> outstanding_;
+
+  std::function<void(uint64_t, uint32_t)> repair_fn_;
+  std::function<bool(uint64_t)> recompute_skip_;
+
+  uint64_t detected_count_ = 0;
+  uint64_t repaired_ = 0;
+  uint64_t unrepairable_ = 0;
+  uint64_t scrub_pages_ = 0;
+  uint64_t scrub_finds_ = 0;
+  uint64_t served_corrupt_ = 0;
+};
+
+}  // namespace adios
+
+#endif  // ADIOS_SRC_INTEGRITY_INTEGRITY_H_

@@ -1,0 +1,23 @@
+// Seeded 64-bit page checksum codec.
+//
+// One splitmix-style mix round per 8-byte word, chained sequentially so the
+// digest is sensitive to both value and position: a single flipped bit, a
+// torn 8-byte word, or two swapped words all change the result. This is a
+// corruption *detector* (like the CRCs storage stacks keep per block), not a
+// cryptographic MAC — the adversary is a bit flip, not an attacker.
+
+#ifndef ADIOS_SRC_INTEGRITY_PAGE_CHECKSUM_H_
+#define ADIOS_SRC_INTEGRITY_PAGE_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace adios {
+
+// Digest of `len` bytes at `data` under `seed`. Deterministic across runs
+// and platforms (little-endian word loads via memcpy).
+uint64_t PageChecksum(const void* data, size_t len, uint64_t seed);
+
+}  // namespace adios
+
+#endif  // ADIOS_SRC_INTEGRITY_PAGE_CHECKSUM_H_

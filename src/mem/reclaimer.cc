@@ -81,6 +81,10 @@ void Reclaimer::DrainWriteCompletions() {
     }
     for (size_t i = 0; i < n; ++i) {
       const Completion& c = batch[i];
+      if (IsScrubId(c.wr_id)) {
+        OnScrubCompletion(c);
+        continue;
+      }
       if (IsResilverId(c.wr_id)) {
         OnResilverCompletion(c);
         continue;
@@ -108,6 +112,11 @@ void Reclaimer::DrainWriteCompletions() {
       if (placement_ != nullptr) {
         // A successful write-back re-syncs a replica that had diverged.
         placement_->MarkInSync(WbPageOf(c.wr_id), WbNodeOf(c.wr_id));
+      }
+      if (integrity_ != nullptr) {
+        // Refresh the slot's digest (and settle wire-poison state: a
+        // corrupted WRITE leaves the stored copy poisoned).
+        integrity_->OnReplicaWritten(c.wr_id, WbPageOf(c.wr_id), WbNodeOf(c.wr_id));
       }
       FinishWbReplica(WbPageOf(c.wr_id), /*success=*/true);
     }
@@ -180,6 +189,9 @@ void Reclaimer::RepostWriteback(uint64_t wr_id) {
     engine_->Schedule(1000, [this, wr_id] { RepostWriteback(wr_id); });
     return;
   }
+  if (integrity_ != nullptr) {
+    integrity_->OnWritePosted(wr_id, WbPageOf(wr_id));
+  }
   it->second.repost_pending = false;
   it->second.deadline = engine_->ScheduleCancellable(
       options_.retry.timeout_ns, [this, wr_id] { OnWritebackDeadline(wr_id); });
@@ -245,6 +257,11 @@ void Reclaimer::Loop() {
               cq_wait_.Wait();
               DrainWriteCompletions();
             }
+            if (integrity_ != nullptr) {
+              // Snapshot the digest this WRITE carries at post time — the
+              // page may be re-fetched and re-dirtied before it completes.
+              integrity_->OnWritePosted(wr_id, victim);
+            }
             if (options_.retry.enabled) {
               TrackWriteback(wr_id);
             }
@@ -274,6 +291,15 @@ void Reclaimer::BeginResilver(uint32_t node) {
   for (const uint64_t vpage : pages) {
     resilver_q_.push_back(ResilverWork{vpage, node, 0});
   }
+  ArmResilverTick(ResilverIntervalNs());
+}
+
+void Reclaimer::RequestRepair(uint64_t vpage, uint32_t node) {
+  if (placement_ == nullptr) {
+    return;  // R1: no second copy exists; the slot stays unrepairable.
+  }
+  resilver_pending_[node] += 1;
+  resilver_q_.push_back(ResilverWork{vpage, node, 0});
   ArmResilverTick(ResilverIntervalNs());
 }
 
@@ -401,6 +427,9 @@ void Reclaimer::PostResilverWrite(ResilverOp op) {
     engine_->Schedule(1000, [this, op] { PostResilverWrite(op); });
     return;
   }
+  if (integrity_ != nullptr) {
+    integrity_->OnWritePosted(wr_id, op.vpage);
+  }
   op.write_stage = true;
   op.deadline = engine_->ScheduleCancellable(
       ResilverTimeoutNs(), [this, wr_id] { OnResilverDeadline(wr_id); });
@@ -426,13 +455,41 @@ void Reclaimer::OnResilverCompletion(const Completion& c) {
     health_->ReportSuccess(c.node);
   }
   if (!op.write_stage) {
-    // READ landed in the bounce frame; push it to the recovering node.
+    // READ landed in the bounce frame. Verify the source payload before
+    // propagating it: re-silvering from a corrupt copy would overwrite the
+    // target's replica with garbage. The recompute-vs-digest comparison is
+    // only meaningful while the page is still remote (a resident copy may
+    // legitimately be newer than any stored replica); wire/poison evidence
+    // is exact either way.
+    if (integrity_ != nullptr) {
+      const bool clean = integrity_->CheckPayload(
+          c.wr_id, op.vpage, op.src,
+          /*recompute=*/mm_->StateOf(op.vpage) == PageState::kRemote);
+      if (!clean) {
+        if (tracer_ != nullptr) {
+          tracer_->Record(engine_->now(), 0, TraceEvent::kCorrupt, op.src);
+        }
+        placement_->MarkOutOfSync(op.vpage, op.src);
+        if (health_ != nullptr) {
+          health_->ReportCorruption(op.src);
+        }
+        integrity_->OnCorruptionDetected(op.vpage, op.src, /*from_scrub=*/false);
+        // Requeue the target work item: the next attempt picks a different
+        // in-sync source (or gives up when none remains).
+        AbandonOrRequeueResilver(std::move(op));
+        return;
+      }
+    }
+    // Push it to the recovering node.
     PostResilverWrite(std::move(op));
     return;
   }
   // WRITE landed: the replica is current again.
   ReleaseResilverResources(op);
   placement_->MarkInSync(op.vpage, op.target);
+  if (integrity_ != nullptr) {
+    integrity_->OnReplicaWritten(c.wr_id, op.vpage, op.target);
+  }
   ++pages_resilvered_;
   FinishResilverPage(op.target);
 }
@@ -474,6 +531,168 @@ void Reclaimer::ReleaseResilverResources(ResilverOp& op) {
     mm_->ReleaseBounceFrame();
     op.has_frame = false;
   }
+}
+
+// --- Background scrubber ---
+
+void Reclaimer::StartScrub(SimTime until) {
+  ADIOS_CHECK(integrity_ != nullptr);
+  scrub_until_ = until;
+  ArmScrubTick(ScrubIntervalNs());
+}
+
+void Reclaimer::ArmScrubTick(SimDuration delay) {
+  if (scrub_tick_armed_) {
+    return;
+  }
+  scrub_tick_armed_ = true;
+  engine_->Schedule(delay, [this] {
+    scrub_tick_armed_ = false;
+    ScrubTick();
+  });
+}
+
+void Reclaimer::OpenScrubPass() {
+  scrub_pass_open_ = true;
+  scrub_issued_in_pass_ = 0;
+  scrub_finds_in_pass_ = 0;
+  ++scrub_pass_;
+  if (tracer_ != nullptr) {
+    tracer_->Record(engine_->now(), 0, TraceEvent::kScrubStart,
+                    static_cast<uint32_t>(scrub_pass_));
+  }
+}
+
+void Reclaimer::CloseScrubPass() {
+  scrub_pass_open_ = false;
+  if (tracer_ != nullptr) {
+    tracer_->Record(engine_->now(), 0, TraceEvent::kScrubDone, scrub_finds_in_pass_);
+  }
+}
+
+void Reclaimer::ScrubTick() {
+  if (engine_->now() >= scrub_until_) {
+    // Horizon reached: stop the tick chain so the engine can drain. In-
+    // flight scrub reads still settle through their completions.
+    if (scrub_pass_open_) {
+      CloseScrubPass();
+    }
+    return;
+  }
+  if (mm_->BelowLowWatermark()) {
+    // Same rule as re-silvering: scrubbing is repair bandwidth, never
+    // allocation pressure. Back off hard under frame contention.
+    ArmScrubTick(4 * ScrubIntervalNs());
+    return;
+  }
+  // Advance the (vpage, slot) cursor to the next scrubbable stored copy:
+  // remote (no resident version supersedes it), in sync (divergent slots are
+  // the re-silver pass's job), on a live node, and not already mid-scrub.
+  const uint32_t slots_per_page = placement_ != nullptr ? placement_->replicas() : 1;
+  const uint64_t num_pages = mm_->page_table().num_pages();
+  const uint64_t total_slots = num_pages * slots_per_page;
+  uint64_t wr_id = 0;
+  uint64_t vpage = 0;
+  uint32_t node = 0;
+  bool found = false;
+  for (uint64_t probed = 0; probed < total_slots; ++probed) {
+    vpage = scrub_cursor_page_;
+    const uint32_t slot = scrub_cursor_slot_;
+    if (++scrub_cursor_slot_ >= slots_per_page) {
+      scrub_cursor_slot_ = 0;
+      if (++scrub_cursor_page_ >= num_pages) {
+        scrub_cursor_page_ = 0;
+      }
+    }
+    if (mm_->StateOf(vpage) != PageState::kRemote) {
+      continue;
+    }
+    node = placement_ != nullptr ? placement_->ReplicaNode(vpage, slot) : 0;
+    if (placement_ != nullptr && !placement_->InSync(vpage, node)) {
+      continue;
+    }
+    if (health_ != nullptr && health_->IsDead(node)) {
+      continue;
+    }
+    wr_id = ScrubId(vpage, node);
+    if (scrub_ops_.find(wr_id) != scrub_ops_.end()) {
+      continue;
+    }
+    found = true;
+    break;
+  }
+  if (!found) {
+    // Nothing cold to scrub right now (everything resident or in flight);
+    // retry after a full pass gap.
+    ArmScrubTick(options_.scrub_pass_gap_ns);
+    return;
+  }
+  if (!mm_->TryReserveBounceFrame()) {
+    ArmScrubTick(4 * ScrubIntervalNs());
+    return;
+  }
+  if (!qp_->PostRead(mm_->page_bytes(), wr_id, node)) {
+    mm_->ReleaseBounceFrame();
+    ArmScrubTick(ScrubIntervalNs());
+    return;
+  }
+  if (!scrub_pass_open_) {
+    OpenScrubPass();
+  }
+  ++scrub_frames_;
+  scrub_ops_[wr_id] = ScrubOp{vpage, node};
+  if (++scrub_issued_in_pass_ >= options_.scrub_batch_pages) {
+    CloseScrubPass();
+    ArmScrubTick(options_.scrub_pass_gap_ns);
+  } else {
+    ArmScrubTick(ScrubIntervalNs());
+  }
+}
+
+void Reclaimer::OnScrubCompletion(const Completion& c) {
+  auto it = scrub_ops_.find(c.wr_id);
+  if (it == scrub_ops_.end()) {
+    return;  // Duplicate completion of a scrub read (injector race).
+  }
+  const ScrubOp op = it->second;
+  scrub_ops_.erase(it);
+  ADIOS_DCHECK(scrub_frames_ > 0);
+  --scrub_frames_;
+  mm_->ReleaseBounceFrame();
+  if (!c.ok()) {
+    // The scrub read itself failed (drop/NAK); the node-health machinery
+    // owns flaky-node handling, the scrubber just moves on. The cursor
+    // revisits this page next sweep.
+    if (health_ != nullptr) {
+      health_->ReportError(c.node);
+    }
+    return;
+  }
+  if (health_ != nullptr) {
+    health_->ReportSuccess(c.node);
+  }
+  integrity_->OnScrubPage();
+  ++scrub_pages_scanned_;
+  // The digest comparison only means something while the stored copy is
+  // still the authoritative version (page remote); wire/poison evidence is
+  // exact regardless.
+  const bool clean = integrity_->CheckPayload(
+      c.wr_id, op.vpage, op.node,
+      /*recompute=*/mm_->StateOf(op.vpage) == PageState::kRemote);
+  if (clean) {
+    return;
+  }
+  ++scrub_finds_in_pass_;
+  if (tracer_ != nullptr) {
+    tracer_->Record(engine_->now(), 0, TraceEvent::kCorrupt, op.node);
+  }
+  if (placement_ != nullptr) {
+    placement_->MarkOutOfSync(op.vpage, op.node);
+  }
+  if (health_ != nullptr) {
+    health_->ReportCorruption(op.node);
+  }
+  integrity_->OnCorruptionDetected(op.vpage, op.node, /*from_scrub=*/true);
 }
 
 void Reclaimer::FinishResilverPage(uint32_t target) {

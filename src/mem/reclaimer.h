@@ -25,12 +25,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/integrity/integrity.h"
 #include "src/mem/memory_manager.h"
 #include "src/mem/remote_heap.h"
 #include "src/rdma/fabric.h"
 #include "src/rdma/node_health.h"
 #include "src/rdma/params.h"
 #include "src/sim/cpu_core.h"
+#include "src/sim/trace.h"
 #include "src/sim/wait_queue.h"
 
 namespace adios {
@@ -51,6 +53,14 @@ class Reclaimer {
     // replica is left divergent for the next pass.
     double resilver_bw_gbps = 10.0;
     uint32_t resilver_max_attempts = 3;
+    // Background scrubber (docs/INTEGRITY.md): paced bounce-frame reads of
+    // cold remote pages, verified against the checksum map; same pressure
+    // rules as re-silvering (×4 deferral below the low watermark). Enabled
+    // by MdSystem from IntegrityConfig; needs set_integrity + StartScrub.
+    bool scrub_enabled = false;
+    double scrub_bw_gbps = 1.0;
+    uint32_t scrub_batch_pages = 32;
+    SimDuration scrub_pass_gap_ns = 1'000'000;
   };
 
   Reclaimer(Engine* engine, CpuCore* core, MemoryManager* mm, QueuePair* qp, Options options);
@@ -65,11 +75,27 @@ class Reclaimer {
   // path then targets node 0 only and BeginResilver must not be called).
   void set_placement(PlacementMap* placement) { placement_ = placement; }
   void set_node_health(NodeHealthMonitor* health) { health_ = health; }
+  // Integrity wiring (docs/INTEGRITY.md): write-back completions refresh the
+  // checksum map, re-silver source reads are verified, and the scrubber
+  // checks every page it touches. Null = no integrity bookkeeping.
+  void set_integrity(IntegrityLayer* integrity) { integrity_ = integrity; }
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
   // Kicks the re-silver pass for a node that just left kDead: collects its
   // out-of-sync pages and re-replicates them at the paced rate, then calls
   // NodeHealthMonitor::NotifyResilverDone. Requires a placement map.
   void BeginResilver(uint32_t node);
+
+  // Queues a repair copy for one divergent replica slot (verify-on-fetch or
+  // scrub detection): the same paced re-silver machinery that heals a
+  // recovered node re-replicates this one page. No-op without a placement
+  // map (R1 has no copy to repair from).
+  void RequestRepair(uint64_t vpage, uint32_t node);
+
+  // Starts the background scrub loop, running until the simulated horizon
+  // `until` (mirrors the controller's Start(warmup + measure): a perpetual
+  // tick would keep the engine from draining). Requires set_integrity.
+  void StartScrub(SimTime until);
 
   uint64_t pages_reclaimed() const { return pages_reclaimed_; }
   uint64_t writebacks_inflight() const { return writebacks_inflight_; }
@@ -81,9 +107,18 @@ class Reclaimer {
   // Bounce frames currently reserved for in-flight re-silver copies; the
   // frame-ownership auditor adds this term to its conservation equation.
   uint64_t resilver_frames_held() const { return resilver_frames_; }
+  // Bounce frames currently reserved for in-flight scrub reads (also a
+  // frame-conservation term).
+  uint64_t scrub_frames_held() const { return scrub_frames_; }
+  // Scrub reads completed and verified.
+  uint64_t scrub_pages_scanned() const { return scrub_pages_scanned_; }
   // Pages with a write-back fan-out in flight; each holds exactly one frame,
   // so this must equal writebacks_inflight() (audited).
   uint64_t writeback_pages_tracked() const { return wb_pages_.size(); }
+  // True while `vpage` has a write-back fan-out in flight. The checksum-map
+  // auditor skips such pages: their recorded digests lag the region until the
+  // WRITEs land, by design.
+  bool WritebackInFlight(uint64_t vpage) const { return wb_pages_.count(vpage) != 0; }
 
  private:
   ADIOS_MAY_SUSPEND void Loop();
@@ -99,16 +134,21 @@ class Reclaimer {
   static constexpr uint64_t kWbNodeShift = 48;
   static constexpr uint64_t kWbPageMask = (1ull << kWbNodeShift) - 1;
   static constexpr uint64_t kResilverFlag = 1ull << 63;
+  static constexpr uint64_t kScrubFlag = 1ull << 62;
   static uint64_t WbId(uint64_t vpage, uint32_t node) {
     return vpage | (static_cast<uint64_t>(node) << kWbNodeShift);
   }
   static uint64_t WbPageOf(uint64_t wr_id) { return wr_id & kWbPageMask; }
   static uint32_t WbNodeOf(uint64_t wr_id) {
-    return static_cast<uint32_t>((wr_id & ~kResilverFlag) >> kWbNodeShift);
+    return static_cast<uint32_t>((wr_id & ~(kResilverFlag | kScrubFlag)) >> kWbNodeShift);
   }
   static bool IsResilverId(uint64_t wr_id) { return (wr_id & kResilverFlag) != 0; }
   static uint64_t ResilverId(uint64_t vpage, uint32_t node) {
     return kResilverFlag | WbId(vpage, node);
+  }
+  static bool IsScrubId(uint64_t wr_id) { return (wr_id & kScrubFlag) != 0; }
+  static uint64_t ScrubId(uint64_t vpage, uint32_t node) {
+    return kScrubFlag | WbId(vpage, node);
   }
 
   // Live replica targets for a dirty write-back of `vpage` (just {0} without
@@ -171,6 +211,27 @@ class Reclaimer {
   // Decrements `target`'s pending count; at zero notifies the monitor.
   void FinishResilverPage(uint32_t target);
 
+  // --- Background scrubber (docs/INTEGRITY.md) ---
+  //
+  // A cursor over (vpage, replica-slot) issues one paced bounce-frame READ
+  // per tick for cold remote in-sync pages; the completion verifies the
+  // stored copy against the checksum map. Passes of scrub_batch_pages are
+  // bracketed by kScrubStart/kScrubDone trace events with scrub_pass_gap_ns
+  // between them. Scrub READs carry no deadline: the fabric delivers exactly
+  // one completion per post (error completions included), so nothing leaks.
+  struct ScrubOp {
+    uint64_t vpage = 0;
+    uint32_t node = 0;
+  };
+  SimDuration ScrubIntervalNs() const {
+    return FabricParams::SerializationNs(mm_->page_bytes(), options_.scrub_bw_gbps);
+  }
+  void ArmScrubTick(SimDuration delay);
+  void ScrubTick();
+  void OnScrubCompletion(const Completion& c);
+  void OpenScrubPass();
+  void CloseScrubPass();
+
   Engine* engine_;
   CpuCore* core_;
   MemoryManager* mm_;
@@ -178,6 +239,8 @@ class Reclaimer {
   Options options_;
   PlacementMap* placement_ = nullptr;
   NodeHealthMonitor* health_ = nullptr;
+  IntegrityLayer* integrity_ = nullptr;
+  Tracer* tracer_ = nullptr;
   WaitQueue sleep_queue_;
   WaitQueue cq_wait_;
   bool kicked_ = false;
@@ -201,6 +264,18 @@ class Reclaimer {
   uint64_t pages_resilvered_ = 0;
   uint64_t resilver_failures_ = 0;
   uint64_t resilver_frames_ = 0;
+
+  std::unordered_map<uint64_t, ScrubOp> scrub_ops_;  // By wr_id.
+  SimTime scrub_until_ = 0;
+  bool scrub_tick_armed_ = false;
+  bool scrub_pass_open_ = false;
+  uint64_t scrub_cursor_page_ = 0;
+  uint32_t scrub_cursor_slot_ = 0;
+  uint32_t scrub_issued_in_pass_ = 0;
+  uint32_t scrub_finds_in_pass_ = 0;
+  uint64_t scrub_pass_ = 0;
+  uint64_t scrub_frames_ = 0;
+  uint64_t scrub_pages_scanned_ = 0;
 };
 
 }  // namespace adios

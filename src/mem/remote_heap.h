@@ -119,6 +119,7 @@ class PlacementMap {
     ADIOS_CHECK_LE(replicas, num_nodes);
     ADIOS_CHECK_LE(replicas, 8u);  // Sync state is a uint8_t bitmask.
     in_sync_.assign(num_pages, FullMask());
+    divergence_by_node_.assign(num_nodes, 0);
   }
 
   uint32_t num_nodes() const { return num_nodes_; }
@@ -151,6 +152,7 @@ class PlacementMap {
     in_sync_[vpage] = static_cast<uint8_t>(in_sync_[vpage] & ~(1u << slot));
     ++divergent_slots_;
     ++divergence_events_;
+    ++divergence_by_node_[node];
   }
 
   void MarkInSync(uint64_t vpage, uint32_t node) {
@@ -183,6 +185,12 @@ class PlacementMap {
   uint64_t divergent_slots() const { return divergent_slots_; }
   // Cumulative in-sync -> out-of-sync transitions.
   uint64_t divergence_events() const { return divergence_events_; }
+  // Same, restricted to slots hosted on `node` — a node that keeps diverging
+  // (dropped write-backs, corrupt payloads) stands out per-node in the
+  // metric registry where the global counter would hide it.
+  uint64_t divergence_events_for(uint32_t node) const {
+    return node < divergence_by_node_.size() ? divergence_by_node_[node] : 0;
+  }
 
  private:
   uint8_t FullMask() const { return static_cast<uint8_t>((1u << replicas_) - 1); }
@@ -192,6 +200,7 @@ class PlacementMap {
   std::vector<uint8_t> in_sync_;
   uint64_t divergent_slots_ = 0;
   uint64_t divergence_events_ = 0;
+  std::vector<uint64_t> divergence_by_node_;
 };
 
 }  // namespace adios

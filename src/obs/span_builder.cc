@@ -208,11 +208,16 @@ class Folder {
       case TraceEvent::kFailover:
         ++span.failovers;
         break;
+      case TraceEvent::kCorrupt:
+        ++span.corruptions;
+        break;
 
       case TraceEvent::kNodeSuspect:
       case TraceEvent::kNodeDead:
       case TraceEvent::kResilverDone:
       case TraceEvent::kScale:
+      case TraceEvent::kScrubStart:
+      case TraceEvent::kScrubDone:
         Problem(rec, "system event with nonzero request id");
         break;
 

@@ -88,6 +88,7 @@ struct RequestSpan {
   uint32_t retries = 0;       // Fetch reposts attributed to this request.
   uint32_t timeouts = 0;
   uint32_t failovers = 0;
+  uint32_t corruptions = 0;   // Verify-on-fetch detections on this request's fetches.
   uint32_t prefetches = 0;    // Prefetch READs this request's faults triggered.
   uint32_t prefetch_hits = 0;
 

@@ -182,6 +182,22 @@ bool ExportChromeTrace(const Tracer& tracer, const SpanTimeline& timeline,
       case TraceEvent::kScale:
         e.Instant(kDispatcherTid, rec.time, "scale", rec.request_id, rec.arg, "workers");
         break;
+      // Integrity (docs/INTEGRITY.md): detections land on the offending
+      // node's track (and the victim's request lane when demand-detected);
+      // scrub passes bracket on the dispatcher track.
+      case TraceEvent::kCorrupt:
+        e.Instant(kNodeTidBase + rec.arg, rec.time, "corrupt", rec.request_id, rec.arg,
+                  "node");
+        if (rec.request_id != 0) {
+          e.Async('n', rec.request_id, rec.time, "corrupt");
+        }
+        break;
+      case TraceEvent::kScrubStart:
+        e.Instant(kDispatcherTid, rec.time, "scrub-start", rec.request_id, rec.arg, "pass");
+        break;
+      case TraceEvent::kScrubDone:
+        e.Instant(kDispatcherTid, rec.time, "scrub-done", rec.request_id, rec.arg, "finds");
+        break;
       default:
         break;  // Span boundaries are exported from the folded segments.
     }

@@ -225,6 +225,13 @@ void RdmaFabric::IssueReadFaulty(QueuePair* qp, uint64_t bytes, uint64_t wr_id,
       });
       return;
     }
+    case FaultInjector::Action::kCorrupt:
+      // Silent corruption: timing-wise a perfect delivery. Only the ledger
+      // (and an end-to-end checksum) knows.
+      if (corrupt_hook_) {
+        corrupt_hook_(wr_id, node, WorkType::kRead);
+      }
+      break;
     case FaultInjector::Action::kDeliver:
     case FaultInjector::Action::kDelay:
     case FaultInjector::Action::kDuplicate:
@@ -294,6 +301,11 @@ void RdmaFabric::IssueReadFaultyWire(QueuePair* qp, uint64_t bytes, uint64_t wr_
       });
       return;
     }
+    case FaultInjector::Action::kCorrupt:
+      if (corrupt_hook_) {
+        corrupt_hook_(wr_id, node, WorkType::kRead);
+      }
+      break;
     case FaultInjector::Action::kDeliver:
     case FaultInjector::Action::kDelay:
     case FaultInjector::Action::kDuplicate:
@@ -357,6 +369,13 @@ void RdmaFabric::IssueWriteFaulty(QueuePair* qp, uint64_t bytes, uint64_t wr_id,
       });
       return;
     }
+    case FaultInjector::Action::kCorrupt:
+      // The WRITE lands and acks normally, but what it stored is wrong
+      // (torn landing / poisoned buffer).
+      if (corrupt_hook_) {
+        corrupt_hook_(wr_id, node, WorkType::kWrite);
+      }
+      break;
     case FaultInjector::Action::kDeliver:
     case FaultInjector::Action::kDelay:
     case FaultInjector::Action::kDuplicate:

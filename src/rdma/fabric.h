@@ -172,6 +172,15 @@ class RdmaFabric {
   void set_fault_injector(FaultInjector* injector) { set_node_fault_injector(0, injector); }
   FaultInjector* fault_injector(uint32_t node = 0) { return nodes_[node]->injector; }
 
+  // Fires when an injector classifies a WQE kCorrupt: the operation runs the
+  // normal success pipeline (no error, no extra latency) but its payload is
+  // wrong. The integrity layer records the (wr_id, node, type) so the
+  // completion's consumer can find out — the fabric itself never touches
+  // payload bytes (RemoteRegion is the single ground-truth array).
+  void set_corrupt_hook(std::function<void(uint64_t, uint32_t, WorkType)> hook) {
+    corrupt_hook_ = std::move(hook);
+  }
+
  private:
   friend class QueuePair;
 
@@ -214,6 +223,7 @@ class RdmaFabric {
   uint32_t client_rx_flow_;
   std::vector<std::unique_ptr<CompletionQueue>> cqs_;
   std::vector<std::unique_ptr<QueuePair>> qps_;
+  std::function<void(uint64_t, uint32_t, WorkType)> corrupt_hook_;
 };
 
 }  // namespace adios

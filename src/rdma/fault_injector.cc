@@ -16,6 +16,14 @@ FaultInjector::Verdict FaultInjector::Classify(WorkType type, SimTime now) {
     return Verdict{Action::kDrop, 0};
   }
 
+  // An open corruption burst claims the next READs outright (the draw above
+  // is still consumed, so burst length does not reshuffle later verdicts).
+  if (type == WorkType::kRead && corrupt_pending_ > 0) {
+    --corrupt_pending_;
+    ++injected_corruptions_;
+    return Verdict{Action::kCorrupt, 0};
+  }
+
   const double loss =
       type == WorkType::kWrite ? options_.write_loss_rate : options_.read_loss_rate;
   double threshold = loss;
@@ -47,6 +55,20 @@ FaultInjector::Verdict FaultInjector::Classify(WorkType type, SimTime now) {
   if (u < threshold && type == WorkType::kRead) {
     ++injected_duplicates_;
     return Verdict{Action::kDuplicate, options_.duplicate_lag_ns};
+  }
+  // Corruption occupies the band just past duplicate. The band is tested
+  // with an explicit [threshold, threshold + rate) window rather than by
+  // advancing `threshold`, because the duplicate band above is READ-only: a
+  // WRITE whose draw fell inside it must stay kDeliver, not slide into the
+  // corrupt band.
+  const double corrupt =
+      type == WorkType::kWrite ? options_.write_poison_rate : options_.corrupt_rate;
+  if (corrupt > 0.0 && u >= threshold && u < threshold + corrupt) {
+    ++injected_corruptions_;
+    if (type == WorkType::kRead && options_.corrupt_burst > 1) {
+      corrupt_pending_ = options_.corrupt_burst - 1;
+    }
+    return Verdict{Action::kCorrupt, 0};
   }
   return Verdict{Action::kDeliver, 0};
 }

@@ -14,6 +14,10 @@
 //               memory-node stage of one WQE.
 //   duplicate — the response is delivered twice (retransmit race); the second
 //               success completion arrives late and must be deduplicated.
+//   corrupt   — the WQE completes successfully but the payload is wrong: a
+//               remote-DRAM bit flip or a DMA from a stale buffer on READs,
+//               a torn/poisoned landing on WRITEs. No error is signaled, so
+//               only end-to-end checksums (src/integrity/) can see it.
 //   brownout  — periodic windows in which the memory node's DMA engine is
 //               rate-limited (e.g. a co-located tenant thrashing the memory
 //               bus): every DMA in the window takes `brownout_dma_multiplier`
@@ -41,18 +45,26 @@ class FaultInjector {
  public:
   struct Options {
     // Per-WQE fault probabilities (independent Bernoulli draws, evaluated in
-    // the order drop > nack > delay > duplicate; at most one fires per WQE).
+    // the order drop > nack > delay > duplicate > corrupt; at most one fires
+    // per WQE).
     double read_loss_rate = 0.0;   // One-sided READ lost end-to-end.
     double write_loss_rate = 0.0;  // One-sided WRITE lost end-to-end.
     double nack_rate = 0.0;        // RNR NAK from the memory node.
     double delay_rate = 0.0;       // Congestion/PFC delay spike.
     double duplicate_rate = 0.0;   // Response delivered twice (READs only).
+    double corrupt_rate = 0.0;     // READ payload silently corrupted in flight.
+    double write_poison_rate = 0.0;  // WRITE lands but poisons the stored page.
 
     // Delay-spike bounds (uniform in [min, max]).
     SimDuration delay_min_ns = 5000;
     SimDuration delay_max_ns = 50000;
     // Lag of the duplicate success completion behind the first.
     SimDuration duplicate_lag_ns = 10000;
+
+    // When a READ draws corruption, the next `corrupt_burst - 1` READs on
+    // this injector are corrupted too (a flaky DIMM/row corrupts a locality
+    // burst, not one isolated word). 1 = independent corruption.
+    uint32_t corrupt_burst = 1;
 
     // Time for the NIC transport layer to exhaust its hardware retries and
     // flush a lost WQE as a completion-with-error (transport retry counter x
@@ -81,7 +93,8 @@ class FaultInjector {
 
     bool enabled() const {
       return read_loss_rate > 0.0 || write_loss_rate > 0.0 || nack_rate > 0.0 ||
-             delay_rate > 0.0 || duplicate_rate > 0.0 ||
+             delay_rate > 0.0 || duplicate_rate > 0.0 || corrupt_rate > 0.0 ||
+             write_poison_rate > 0.0 ||
              (brownout_period_ns > 0 && brownout_duration_ns > 0) ||
              blackout_duration_ns > 0;
     }
@@ -93,6 +106,8 @@ class FaultInjector {
     kNack = 2,       // RNR NAK; error completion after nack_rtt_ns.
     kDelay = 3,      // Success completion, extra_ns added at the memory node.
     kDuplicate = 4,  // Success completion, then a second one extra_ns later.
+    kCorrupt = 5,    // Success completion, payload silently corrupted — the
+                     // only fault class the retry path cannot see.
   };
 
   struct Verdict {
@@ -143,6 +158,7 @@ class FaultInjector {
   uint64_t injected_nacks() const { return injected_nacks_; }
   uint64_t injected_delays() const { return injected_delays_; }
   uint64_t injected_duplicates() const { return injected_duplicates_; }
+  uint64_t injected_corruptions() const { return injected_corruptions_; }
 
  private:
   Options options_;
@@ -152,6 +168,9 @@ class FaultInjector {
   uint64_t injected_nacks_ = 0;
   uint64_t injected_delays_ = 0;
   uint64_t injected_duplicates_ = 0;
+  uint64_t injected_corruptions_ = 0;
+  // Remaining READs of the current corruption burst.
+  uint32_t corrupt_pending_ = 0;
 };
 
 }  // namespace adios

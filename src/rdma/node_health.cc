@@ -75,6 +75,10 @@ void NodeHealthMonitor::ReportError(uint32_t node) { AddEvidence(node, 1.0); }
 
 void NodeHealthMonitor::ReportTimeout(uint32_t node) { AddEvidence(node, 1.0); }
 
+void NodeHealthMonitor::ReportCorruption(uint32_t node) {
+  AddEvidence(node, config_.corruption_weight);
+}
+
 void NodeHealthMonitor::AddEvidence(uint32_t node, double weight) {
   NodeState& ns = nodes_[node];
   Decay(ns, engine_->now());

@@ -60,6 +60,11 @@ struct ReplicationConfig {
   // evidence stream left, and they must still be able to push a genuinely
   // dark node past dead_threshold against the decay.
   double probe_fail_weight = 2.0;
+  // Evidence weight of a verified-corrupt payload (docs/INTEGRITY.md).
+  // Heavier than a plain WQE error: silent corruption means the node is
+  // lying, not just slow, so a persistently-corrupting node must degrade to
+  // suspect/dead after a handful of detections.
+  double corruption_weight = 2.0;
 
   // Re-silver pacing: background copy bandwidth cap (Gbps) and per-page
   // attempt budget, consumed by the reclaimer's re-silver pass.
@@ -104,6 +109,8 @@ class NodeHealthMonitor {
   void ReportSuccess(uint32_t node);
   void ReportError(uint32_t node);
   void ReportTimeout(uint32_t node);
+  // A checksum-verified fetch from `node` came back corrupt.
+  void ReportCorruption(uint32_t node);
 
   // The re-silver pass finished for `node`; kResilvering -> kHealthy.
   // Ignored in any other state (e.g. the node relapsed to kDead mid-pass).

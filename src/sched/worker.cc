@@ -251,6 +251,8 @@ void Worker::RegisterMetrics(MetricRegistry* registry) {
                           [this] { return static_cast<double>(fetch_retries_); });
   registry->RegisterProbe("worker.failovers", labels,
                           [this] { return static_cast<double>(failovers_); });
+  registry->RegisterProbe("worker.corruptions", labels,
+                          [this] { return static_cast<double>(corruptions_detected_); });
   registry->RegisterProbe("worker.outstanding_faults", labels,
                           [this] { return static_cast<double>(OutstandingFaults()); });
 }
@@ -667,8 +669,43 @@ size_t Worker::DrainMemCq() {
           ScheduleRetryOrFail(batch[i].wr_id);
           continue;
         }
+        if (integrity_ != nullptr) {
+          // Verify before mapping: recompute the page checksum against the
+          // slot's recorded digest (docs/INTEGRITY.md). The hash cost is
+          // charged to this core whether the page is clean or not.
+          core_->Consume(integrity_->VerifyCost());
+          if (!integrity_->VerifyFetch(batch[i].wr_id, batch[i].wr_id, batch[i].node)) {
+            // Silent corruption — the completion said success, the payload
+            // lies. Treat it exactly like a dead READ: divergence + health
+            // evidence + failover to another in-sync replica, or abandon the
+            // fetch when no copy remains (R1).
+            ++corruptions_detected_;
+            PendingFetch& pf = it->second;
+            if (tracer_ != nullptr) {
+              tracer_->Record(engine_->now(), pf.req_id, TraceEvent::kCorrupt,
+                              batch[i].node);
+            }
+            if (placement_ != nullptr) {
+              placement_->MarkOutOfSync(batch[i].wr_id, batch[i].node);
+            }
+            if (health_ != nullptr) {
+              health_->ReportCorruption(batch[i].node);
+            }
+            integrity_->OnCorruptionDetected(batch[i].wr_id, batch[i].node,
+                                             /*from_scrub=*/false);
+            pf.deadline.Cancel();
+            if (!TryFailover(batch[i].wr_id, pf)) {
+              FailFetch(batch[i].wr_id);
+            }
+            continue;  // Never mapped, never reported healthy.
+          }
+        }
         it->second.deadline.Cancel();
         pending_fetch_.erase(it);
+      } else if (integrity_ != nullptr && batch[i].ok()) {
+        // Retry pipeline off (oracle-only runs): nothing to fail over to,
+        // but the ledger still records silently-served corruption.
+        integrity_->VerifyFetch(batch[i].wr_id, batch[i].wr_id, batch[i].node);
       }
       if (health_ != nullptr) {
         health_->ReportSuccess(batch[i].node);

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/base/rng.h"
+#include "src/integrity/integrity.h"
 #include "src/mem/memory_manager.h"
 #include "src/mem/prefetcher.h"
 #include "src/mem/remote_heap.h"
@@ -109,6 +110,7 @@ class Worker final : public WorkerApi {
   uint64_t fetch_timeouts() const { return fetch_timeouts_; }
   uint64_t fetch_retries() const { return fetch_retries_; }
   uint64_t failovers() const { return failovers_; }
+  uint64_t corruptions_detected() const { return corruptions_detected_; }
 
   // --- WorkerApi (called by application handlers on unithreads) ---
   void Access(RemoteAddr addr, uint64_t len, bool write) override;
@@ -126,6 +128,10 @@ class Worker final : public WorkerApi {
   // then always targets node 0 and never consults health state).
   void set_placement(PlacementMap* placement) { placement_ = placement; }
   void set_node_health(NodeHealthMonitor* health) { health_ = health; }
+  // Verify-on-fetch (docs/INTEGRITY.md): consulted once per successful READ
+  // completion in DrainMemCq. Null = no integrity layer (the default), zero
+  // cost on the fetch path.
+  void set_integrity(IntegrityLayer* integrity) { integrity_ = integrity; }
 
   // Unithread entry point (contexts are prepared by the dispatcher).
   static void UnithreadMain(void* arg);
@@ -194,6 +200,7 @@ class Worker final : public WorkerApi {
   Tracer* tracer_ = nullptr;
   PlacementMap* placement_ = nullptr;
   NodeHealthMonitor* health_ = nullptr;
+  IntegrityLayer* integrity_ = nullptr;
 
   // Pops a not-yet-started request from the busiest peer's queue (work
   // stealing); nullptr when no peer has queued work.
@@ -224,6 +231,7 @@ class Worker final : public WorkerApi {
   uint64_t fetch_timeouts_ = 0;
   uint64_t fetch_retries_ = 0;
   uint64_t failovers_ = 0;
+  uint64_t corruptions_detected_ = 0;
 };
 
 }  // namespace adios

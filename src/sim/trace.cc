@@ -52,6 +52,12 @@ const char* TraceEventName(TraceEvent ev) {
       return "shed-drop";
     case TraceEvent::kScale:
       return "scale";
+    case TraceEvent::kCorrupt:
+      return "corrupt";
+    case TraceEvent::kScrubStart:
+      return "scrub-start";
+    case TraceEvent::kScrubDone:
+      return "scrub-done";
   }
   return "?";
 }
@@ -93,12 +99,17 @@ void Tracer::PrintTimeline(uint64_t request_id, std::FILE* out) const {
     } else if (e.event == TraceEvent::kRetry) {
       std::fprintf(out, " attempt=%u", e.arg);
     } else if (e.event == TraceEvent::kNodeSuspect || e.event == TraceEvent::kNodeDead ||
-               e.event == TraceEvent::kFailover || e.event == TraceEvent::kResilverDone) {
+               e.event == TraceEvent::kFailover || e.event == TraceEvent::kResilverDone ||
+               e.event == TraceEvent::kCorrupt) {
       std::fprintf(out, " node=%u", e.arg);
     } else if (e.event == TraceEvent::kAdmit || e.event == TraceEvent::kShed) {
       std::fprintf(out, " tenant=%u", e.arg);
     } else if (e.event == TraceEvent::kScale) {
       std::fprintf(out, " workers=%u", e.arg);
+    } else if (e.event == TraceEvent::kScrubStart) {
+      std::fprintf(out, " pass=%u", e.arg);
+    } else if (e.event == TraceEvent::kScrubDone) {
+      std::fprintf(out, " finds=%u", e.arg);
     }
     std::fprintf(out, "\n");
     prev = e.time;

@@ -53,13 +53,20 @@ enum class TraceEvent : uint8_t {
   kAdmit = 21,  // Admission controller dropped the arrival (arg = tenant).
   kShed = 22,   // Load shedder dropped the arrival (arg = tenant).
   kScale = 23,  // Active worker set resized (arg = new active count).
+  // Data integrity (docs/INTEGRITY.md). kCorrupt carries the request whose
+  // fetch verified bad (arg = node), or request_id = 0 for scrub / re-silver
+  // detections, which are not tied to one request. Scrub passes are
+  // system-level like the health transitions.
+  kCorrupt = 24,     // Checksum verification failed (arg = node).
+  kScrubStart = 25,  // Background scrub pass opened (arg = pass number).
+  kScrubDone = 26,   // Scrub pass closed (arg = corruptions found this pass).
 };
 
 const char* TraceEventName(TraceEvent ev);
 
 // One past the highest TraceEvent value (for exhaustive-name tests and
 // per-event tables).
-inline constexpr uint8_t kNumTraceEvents = 24;
+inline constexpr uint8_t kNumTraceEvents = 27;
 
 struct TraceRecord {
   SimTime time = 0;

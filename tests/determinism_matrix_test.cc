@@ -39,10 +39,12 @@ struct Cell {
   bool prefetch = false;
   bool fault = false;
   bool ctrl = false;  // Overload control: admission + shedding + scaling.
+  bool integrity = false;  // Checksummed fetches + scrubber on a corrupting
+                           // replicated fabric.
 
   std::string Name() const {
-    return StrFormat("%s/prefetch=%d/fault=%d/ctrl=%d", system.c_str(), prefetch ? 1 : 0,
-                     fault ? 1 : 0, ctrl ? 1 : 0);
+    return StrFormat("%s/prefetch=%d/fault=%d/ctrl=%d/integrity=%d", system.c_str(),
+                     prefetch ? 1 : 0, fault ? 1 : 0, ctrl ? 1 : 0, integrity ? 1 : 0);
   }
 };
 
@@ -73,6 +75,18 @@ Outcome RunCell(const Cell& cell) {
     cfg.ctrl.shed_pf_knee = 4.0;
     cfg.ctrl.scale_enabled = true;
     cfg.ctrl.min_workers = 2;
+  }
+  if (cell.integrity) {
+    // Verified fetches, the background scrubber, and repair-from-replica on
+    // a fabric that corrupts both READ payloads and WRITE landings: the
+    // detections, failovers, repairs, and scrub passes must all replay
+    // bit-exactly.
+    cfg.replication.num_nodes = 2;
+    cfg.replication.replicas = 2;
+    cfg.integrity.verify = true;
+    cfg.integrity.scrub = true;
+    cfg.fault.corrupt_rate = 1e-3;
+    cfg.fault.write_poison_rate = 1e-3;
   }
   ArrayApp::Options ao;
   ao.entries = 1 << 14;
@@ -122,6 +136,16 @@ TEST(DeterminismMatrix, IdenticalTraceStreamsAcrossTheFullMatrix) {
         ExpectIdenticalRuns(Cell{system, prefetch, fault, /*ctrl=*/false});
       }
     }
+  }
+}
+
+TEST(DeterminismMatrix, IdenticalTraceStreamsWithIntegrity) {
+  // Integrity cells on Adios (the preset the integrity bench drives), with
+  // and without the loss/nack/delay faults riding along — corruption plus
+  // retries plus failover plus scrubbing, replayed event for event.
+  for (const bool fault : {false, true}) {
+    ExpectIdenticalRuns(
+        Cell{"Adios", /*prefetch=*/false, fault, /*ctrl=*/false, /*integrity=*/true});
   }
 }
 

@@ -114,6 +114,118 @@ TEST(FaultInjector, BlackoutDropsEverythingInsideWindow) {
   EXPECT_EQ(inj.DegradedNs(2000), 500u);
 }
 
+TEST(FaultInjector, CorruptKnobsEnableTheInjector) {
+  FaultInjector::Options o;
+  o.corrupt_rate = 1e-4;
+  EXPECT_TRUE(o.enabled());
+  o.corrupt_rate = 0.0;
+  o.write_poison_rate = 1e-4;
+  EXPECT_TRUE(o.enabled());
+}
+
+TEST(FaultInjector, CorruptionIsDeterministicAcrossInstances) {
+  FaultInjector::Options o;
+  o.corrupt_rate = 0.1;
+  o.write_poison_rate = 0.05;
+  o.read_loss_rate = 0.05;
+  o.corrupt_burst = 3;
+  o.seed = 4321;
+  FaultInjector a(o);
+  FaultInjector b(o);
+  for (int i = 0; i < 2000; ++i) {
+    const WorkType type = i % 3 == 0 ? WorkType::kWrite : WorkType::kRead;
+    const auto va = a.Classify(type, i);
+    const auto vb = b.Classify(type, i);
+    EXPECT_EQ(va.action, vb.action);
+    EXPECT_EQ(va.extra_ns, vb.extra_ns);
+  }
+  EXPECT_GT(a.injected_corruptions(), 0u);
+  EXPECT_EQ(a.injected_corruptions(), b.injected_corruptions());
+}
+
+TEST(FaultInjector, CorruptRateApproximatelyHonored) {
+  FaultInjector::Options o;
+  o.corrupt_rate = 0.25;
+  o.seed = 11;
+  FaultInjector inj(o);
+  const int n = 8000;
+  for (int i = 0; i < n; ++i) {
+    inj.Classify(WorkType::kRead, 0);
+  }
+  const double rate = static_cast<double>(inj.injected_corruptions()) / n;
+  EXPECT_GT(rate, 0.22);
+  EXPECT_LT(rate, 0.28);
+}
+
+TEST(FaultInjector, ReadCorruptAndWritePoisonAreSeparateKnobs) {
+  // READ payload corruption and WRITE landing poison are distinct hardware
+  // events with distinct rates; neither bleeds into the other's WQE type.
+  FaultInjector::Options ro;
+  ro.corrupt_rate = 1.0;
+  FaultInjector read_only(ro);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(read_only.Classify(WorkType::kRead, 0).action, FaultInjector::Action::kCorrupt);
+    EXPECT_EQ(read_only.Classify(WorkType::kWrite, 0).action,
+              FaultInjector::Action::kDeliver);
+  }
+  FaultInjector::Options wo;
+  wo.write_poison_rate = 1.0;
+  FaultInjector write_only(wo);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(write_only.Classify(WorkType::kWrite, 0).action,
+              FaultInjector::Action::kCorrupt);
+    EXPECT_EQ(write_only.Classify(WorkType::kRead, 0).action,
+              FaultInjector::Action::kDeliver);
+  }
+}
+
+TEST(FaultInjector, CorruptBurstClaimsFollowingReadsExactly) {
+  // Reference run with burst=1 records which draws corrupt independently;
+  // the burst=4 run must corrupt those plus exactly the three READs after
+  // each trigger, and nothing else (the RNG draw is consumed either way, so
+  // the two instances stay in lockstep).
+  FaultInjector::Options base;
+  base.corrupt_rate = 0.05;
+  base.seed = 321;
+  FaultInjector independent(base);
+  std::vector<bool> indep;
+  for (int i = 0; i < 2000; ++i) {
+    indep.push_back(independent.Classify(WorkType::kRead, 0).action ==
+                    FaultInjector::Action::kCorrupt);
+  }
+  ASSERT_GT(independent.injected_corruptions(), 0u);
+
+  FaultInjector::Options bo = base;
+  bo.corrupt_burst = 4;
+  FaultInjector burst(bo);
+  int pending = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const bool corrupt =
+        burst.Classify(WorkType::kRead, 0).action == FaultInjector::Action::kCorrupt;
+    if (pending > 0) {
+      EXPECT_TRUE(corrupt) << "burst tail broken at draw " << i;
+      --pending;
+    } else if (indep[i]) {
+      EXPECT_TRUE(corrupt) << "independent trigger missed at draw " << i;
+      pending = 3;
+    } else {
+      EXPECT_FALSE(corrupt) << "spurious corruption at draw " << i;
+    }
+  }
+}
+
+TEST(FaultInjector, CorruptBurstNeverClaimsWrites) {
+  // A burst opened by a READ models a flaky DIMM row on the READ path; an
+  // interleaved WRITE still classifies by write_poison_rate (here zero).
+  FaultInjector::Options o;
+  o.corrupt_rate = 1.0;
+  o.corrupt_burst = 8;
+  FaultInjector inj(o);
+  EXPECT_EQ(inj.Classify(WorkType::kRead, 0).action, FaultInjector::Action::kCorrupt);
+  EXPECT_EQ(inj.Classify(WorkType::kWrite, 0).action, FaultInjector::Action::kDeliver);
+  EXPECT_EQ(inj.Classify(WorkType::kRead, 0).action, FaultInjector::Action::kCorrupt);
+}
+
 // --- Fabric-level fault semantics ---
 
 TEST(FabricFaults, DropSurfacesAsErrorCompletionAfterDetectTimeout) {
@@ -202,6 +314,42 @@ TEST(FabricFaults, IdealPathUntouchedWithInjectorInstalledButAllZero) {
 
   EXPECT_EQ(c1.completed_at, c2.completed_at);
   EXPECT_EQ(c1.status, c2.status);
+}
+
+TEST(FabricFaults, CorruptCompletesSuccessfullyAndFiresTheHook) {
+  // The corrupt verdict is timing-identical to a clean delivery and the
+  // completion reports success — only the fabric's corrupt hook (the
+  // integrity ledger's feed) knows anything happened.
+  Engine e;
+  RdmaFabric fabric(&e, FabricParams{});
+  FaultInjector::Options o;
+  o.corrupt_rate = 1.0;
+  FaultInjector inj(o);
+  fabric.set_fault_injector(&inj);
+  std::vector<std::pair<uint64_t, WorkType>> hook_calls;
+  fabric.set_corrupt_hook([&](uint64_t wr_id, uint32_t, WorkType type) {
+    hook_calls.emplace_back(wr_id, type);
+  });
+  QueuePair* qp = fabric.CreateQp(fabric.CreateCq());
+  ASSERT_TRUE(qp->PostRead(4096, 77));
+  e.Run();
+  Completion c;
+  ASSERT_EQ(qp->cq()->Poll(1, &c), 1u);
+  EXPECT_TRUE(c.ok());  // Success signaled: the retry path cannot see this.
+  EXPECT_EQ(c.wr_id, 77u);
+  ASSERT_EQ(hook_calls.size(), 1u);
+  EXPECT_EQ(hook_calls[0].first, 77u);
+  EXPECT_EQ(hook_calls[0].second, WorkType::kRead);
+
+  // Same post on an ideal fabric: identical completion time.
+  Engine e2;
+  RdmaFabric ideal(&e2, FabricParams{});
+  QueuePair* q2 = ideal.CreateQp(ideal.CreateCq());
+  ASSERT_TRUE(q2->PostRead(4096, 77));
+  e2.Run();
+  Completion c2;
+  ASSERT_EQ(q2->cq()->Poll(1, &c2), 1u);
+  EXPECT_EQ(c.completed_at, c2.completed_at);
 }
 
 // --- End-to-end retry and degradation ---

@@ -278,6 +278,143 @@ TEST(MdSystem, SingleNodeResultsUnchangedByReplicationCode) {
   EXPECT_EQ(r.divergence_events, 0u);
 }
 
+// --- Data integrity (docs/INTEGRITY.md) ---
+
+TEST(MdSystem, DemandDetectedCorruptionIsRepairedFromReplica) {
+  // Wire-corrupted READs on a replicated fabric: verify-on-fetch catches
+  // each one before it is mapped, the fetch fails over to the other copy,
+  // and the quarantined slot is repaired in the background. No request may
+  // consume bad bytes or abort.
+  SystemConfig cfg = SystemConfig::Adios();
+  cfg.replication.num_nodes = 2;
+  cfg.replication.replicas = 2;
+  cfg.integrity.verify = true;
+  cfg.fault.corrupt_rate = 1e-3;
+  ArrayApp app(SmallArray());
+  MdSystem sys(cfg, &app);
+  RunResult r = sys.Run(200000, Milliseconds(4), Milliseconds(10));
+  EXPECT_EQ(r.sent, r.completed + r.dropped);
+  ASSERT_TRUE(r.integrity.enabled);
+  EXPECT_GT(r.integrity.detected, 0u);
+  EXPECT_EQ(r.integrity.unrepairable, 0u);  // A second copy always exists.
+  EXPECT_EQ(r.integrity.served_corrupt, 0u);
+  EXPECT_EQ(r.requests_failed, 0u);
+  EXPECT_GT(r.failovers, 0u);  // Corrupt fetches failed over, not aborted.
+  // Conservation law: every detection is either repaired or still queued.
+  uint64_t outstanding = 0;
+  sys.integrity()->ForEachOutstanding([&](uint64_t, uint32_t) { ++outstanding; });
+  EXPECT_EQ(r.integrity.detected, r.integrity.repaired + outstanding);
+  // The metric probes tell the same story as the RunResult counters.
+  EXPECT_EQ(static_cast<uint64_t>(r.metrics.Value("integrity.detected")),
+            r.integrity.detected);
+  EXPECT_EQ(static_cast<uint64_t>(r.metrics.Value("integrity.repaired")),
+            r.integrity.repaired);
+}
+
+TEST(MdSystem, ScrubFindsStorePoisonedPagesDemandTrafficMisses) {
+  // Poisoned WRITE-backs with demand verification off: only the background
+  // scrubber can find the bad stored copies. A write-heavy memcached
+  // workload dirties pages, some write-backs poison their slot, and the
+  // scrub pass sweeps them out.
+  SystemConfig cfg = SystemConfig::Adios();
+  cfg.replication.num_nodes = 2;
+  cfg.replication.replicas = 2;
+  cfg.integrity.scrub = true;  // verify stays off: demand path is blind.
+  cfg.integrity.scrub_bw_gbps = 4.0;    // Cover the small heap within the run.
+  cfg.fault.write_poison_rate = 5e-3;
+  MemcachedApp::Options mo;
+  mo.num_keys = 1 << 13;
+  mo.set_fraction = 0.4;
+  MemcachedApp app(mo);
+  MdSystem sys(cfg, &app);
+  RunResult r = sys.Run(150000, Milliseconds(4), Milliseconds(10));
+  EXPECT_EQ(r.sent, r.completed + r.dropped);
+  ASSERT_TRUE(r.integrity.enabled);
+  EXPECT_GT(r.integrity.scrub_pages, 0u);  // The scrubber actually ran...
+  EXPECT_GT(r.integrity.scrub_finds, 0u);  // ...and found poisoned slots...
+  EXPECT_GT(r.integrity.repaired, 0u);     // ...which were healed in place.
+  EXPECT_EQ(r.integrity.unrepairable, 0u);
+  EXPECT_EQ(r.requests_failed, 0u);
+}
+
+TEST(MdSystem, SingleNodeVerifyDetectsButCannotRepair) {
+  // R1 + verify: detection without a second copy. Store-poisoned pages fail
+  // every re-read, exhaust the retry budget, and abort their requests; the
+  // slots stay unrepairable.
+  SystemConfig cfg = SystemConfig::Adios();
+  cfg.integrity.verify = true;
+  cfg.fault.write_poison_rate = 5e-3;
+  MemcachedApp::Options mo;  // Write-heavy: read-only workloads never
+  mo.num_keys = 1 << 14;     // write back, so nothing can poison.
+  mo.set_fraction = 0.4;
+  MemcachedApp app(mo);
+  MdSystem sys(cfg, &app);
+  RunResult r = sys.Run(200000, Milliseconds(4), Milliseconds(10));
+  EXPECT_EQ(r.sent, r.completed + r.dropped);
+  ASSERT_TRUE(r.integrity.enabled);
+  EXPECT_GT(r.integrity.detected, 0u);
+  EXPECT_GT(r.integrity.unrepairable, 0u);
+  EXPECT_GT(r.requests_failed, 0u);  // Unrepairable pages abort their readers.
+  EXPECT_EQ(r.failovers, 0u);        // Nowhere to fail over to.
+  uint64_t outstanding = 0;
+  sys.integrity()->ForEachOutstanding([&](uint64_t, uint32_t) { ++outstanding; });
+  EXPECT_EQ(r.integrity.detected, r.integrity.repaired + outstanding);
+}
+
+TEST(MdSystem, VerifyOffOracleServesCorruptionWithoutFailing) {
+  // The poison oracle: verification off, ledger on. Corrupted payloads are
+  // mapped and consumed — nothing fails, nothing retries on their account,
+  // and the ledger counts exactly what the app silently ate.
+  SystemConfig cfg = SystemConfig::Adios();
+  cfg.integrity.oracle = true;
+  cfg.fault.corrupt_rate = 1e-3;
+  ArrayApp app(SmallArray());
+  MdSystem sys(cfg, &app);
+  RunResult r = sys.Run(200000, Milliseconds(4), Milliseconds(10));
+  EXPECT_EQ(r.sent, r.completed + r.dropped);
+  ASSERT_TRUE(r.integrity.enabled);
+  EXPECT_GT(r.integrity.served_corrupt, 0u);
+  EXPECT_EQ(r.integrity.detected, 0u);  // Nothing inspects, nothing detects.
+  EXPECT_EQ(r.requests_failed, 0u);
+}
+
+TEST(MdSystem, IntegrityOffIsEventStreamIdenticalEvenUnderCorruption) {
+  // With every integrity knob at its default-off value, no layer is built:
+  // non-enabling knob changes — and even live corruption on the fabric —
+  // must leave the event stream bit-identical to the seed run. Corruption
+  // with no verifier is invisible by design; that is the oracle's point.
+  auto run = [](bool touch_knobs) {
+    SystemConfig cfg = SystemConfig::Adios();
+    if (touch_knobs) {
+      cfg.integrity.verify_cycles = 9999;  // Would change timing if enabled.
+      cfg.integrity.scrub_bw_gbps = 99.0;
+      cfg.integrity.scrub_batch_pages = 1;
+      cfg.integrity.checksum_seed = 7;
+      cfg.fault.corrupt_rate = 1e-3;  // Corrupts payloads; nobody looks.
+      cfg.fault.write_poison_rate = 1e-3;
+    }
+    ArrayApp app(SmallArray());
+    MdSystem sys(cfg, &app);
+    sys.tracer().Enable(1 << 21);
+    RunResult r = sys.Run(250000, Milliseconds(2), Milliseconds(5));
+    EXPECT_FALSE(r.integrity.enabled);
+    EXPECT_EQ(r.integrity.detected + r.integrity.repaired + r.integrity.scrub_pages +
+                  r.integrity.served_corrupt,
+              0u);
+    return sys.tracer().records();
+  };
+  const std::vector<TraceRecord> baseline = run(false);
+  const std::vector<TraceRecord> corrupted = run(true);
+  ASSERT_GT(baseline.size(), 0u);
+  ASSERT_EQ(baseline.size(), corrupted.size());
+  for (size_t i = 0; i < baseline.size(); ++i) {
+    ASSERT_EQ(baseline[i], corrupted[i]) << "first divergence at record " << i;
+    ASSERT_NE(baseline[i].event, TraceEvent::kCorrupt);
+    ASSERT_NE(baseline[i].event, TraceEvent::kScrubStart);
+    ASSERT_NE(baseline[i].event, TraceEvent::kScrubDone);
+  }
+}
+
 // --- Overload control (docs/OVERLOAD.md) ---
 
 TEST(MdSystem, CtrlDropsReconcileWithArrivals) {
