@@ -82,6 +82,21 @@ struct SystemConfig {
   double reclaim_low_watermark = 0.15;
   double reclaim_high_watermark = 0.20;
 
+  // Lock-free paging-datapath knobs (docs/DATAPATH.md). All default to the
+  // seed's serialized-equivalent behavior and are event-stream bit-identical
+  // when left off.
+  // Clock shards for the ResidentPageSet; 0 keeps the dense clock hand.
+  uint32_t clock_shards = 0;
+  // Per-worker free-frame credit cache size; 0 disables the caches.
+  uint32_t frame_cache_size = 0;
+  // Bound on clock slots scanned per victim selection; 0 = full sweep.
+  uint32_t evict_scan_budget = 0;
+  // Synchronization-cost model for paging ops and its parameters
+  // (nanoseconds, decoupled from the CPU clock).
+  MmSyncModel sync_model = MmSyncModel::kNone;
+  uint64_t sync_hold_ns = 0;
+  uint64_t sync_cas_ns = 0;
+
   UnithreadPool::Options pool = DefaultPool();
 
   // Runtime invariant checking (src/check/). MdSystem also enables this

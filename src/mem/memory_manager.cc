@@ -5,7 +5,7 @@ namespace adios {
 MemoryManager::MemoryManager(Engine* engine, const Options& options)
     : engine_(engine),
       options_(options),
-      page_table_(options.total_pages),
+      page_table_(options.total_pages, options.clock_shards),
       frame_waiters_(engine) {
   ADIOS_CHECK(options.total_pages > 0);
   ADIOS_CHECK(options.local_pages > 0);
@@ -13,12 +13,68 @@ MemoryManager::MemoryManager(Engine* engine, const Options& options)
   ADIOS_CHECK(options.reclaim_high_watermark >= options.reclaim_low_watermark);
 }
 
-void MemoryManager::TakeFrame() {
+void MemoryManager::TakeFrame(uint16_t owner) {
   ADIOS_CHECK(used_frames_ < options_.local_pages);
+  if (options_.frame_cache_size > 0) {
+    if (owner != kNoFrameOwner) {
+      if (owner >= frame_cache_.size()) {
+        frame_cache_.resize(owner + 1, 0);
+      }
+      if (frame_cache_[owner] == 0) {
+        if (shared_free_frames() == 0 && cached_credits_ > 0) {
+          SpillFrameCaches();
+        }
+        RefillFrameCache(owner);
+      }
+      if (frame_cache_[owner] > 0) {
+        --frame_cache_[owner];
+        --cached_credits_;
+      }
+      // Else the shared pool serves directly: used < local and no credits
+      // anywhere cached means shared_free_frames() > 0.
+    } else if (shared_free_frames() == 0 && cached_credits_ > 0) {
+      // Bounce frames bypass the caches; recall idle credits if the shared
+      // pool ran dry.
+      SpillFrameCaches();
+    }
+  }
   ++used_frames_;
   if (BelowLowWatermark() && reclaim_kick_) {
     reclaim_kick_();
   }
+}
+
+void MemoryManager::RefillFrameCache(uint16_t owner) {
+  uint64_t take = options_.frame_cache_size;
+  const uint64_t shared = shared_free_frames();
+  if (take > shared) {
+    take = shared;
+  }
+  if (take == 0) {
+    return;
+  }
+  frame_cache_[owner] += static_cast<uint32_t>(take);
+  cached_credits_ += take;
+  ++stats_.frame_refills;
+  if (tracer_ != nullptr) {
+    // System-level event: request id 0 by the trace grammar.
+    tracer_->Record(engine_->now(), 0, TraceEvent::kFrameRefill,
+                    static_cast<uint32_t>(take));
+  }
+}
+
+void MemoryManager::SpillFrameCaches() {
+  uint64_t spilled = 0;
+  for (uint32_t& cache : frame_cache_) {
+    spilled += cache;
+    cache = 0;
+  }
+  if (spilled == 0) {
+    return;
+  }
+  ADIOS_DCHECK(cached_credits_ >= spilled);
+  cached_credits_ -= spilled;
+  ++stats_.frame_spills;
 }
 
 void MemoryManager::ReleaseFrame() {
@@ -33,7 +89,7 @@ void MemoryManager::ReleaseFrame() {
 }
 
 void MemoryManager::BeginFetch(uint64_t vpage, bool prefetch, uint16_t owner) {
-  TakeFrame();
+  TakeFrame(owner);
   page_table_.MarkFetching(vpage, prefetch, owner);
   if (prefetch) {
     ++stats_.prefetches;
@@ -44,7 +100,7 @@ void MemoryManager::BeginFetch(uint64_t vpage, bool prefetch, uint16_t owner) {
 
 void MemoryManager::MarkPrefetchLate(uint64_t vpage) {
   ADIOS_DCHECK(IsPrefetchedInFlight(vpage));
-  const uint16_t owner = page_table_.entry(vpage).prefetch_owner;
+  const uint16_t owner = page_table_.Info(vpage).prefetch_owner;
   page_table_.ClearPrefetched(vpage);
   ++stats_.prefetch_late;
   // Late counts as stride-correct feedback: had the window been deeper the
@@ -65,29 +121,41 @@ void MemoryManager::NotifyPrefetchOutcome(uint16_t owner, bool hit) {
   }
 }
 
+void MemoryManager::EnqueuePrefetchPool(uint64_t vpage) {
+  prefetch_pool_.push_back(vpage);
+  prefetch_pool_index_[vpage] = std::prev(prefetch_pool_.end());
+}
+
+void MemoryManager::PurgePrefetchPool(uint64_t vpage) {
+  auto it = prefetch_pool_index_.find(vpage);
+  if (it == prefetch_pool_index_.end()) {
+    return;
+  }
+  prefetch_pool_.erase(it->second);
+  prefetch_pool_index_.erase(it);
+}
+
 uint64_t MemoryManager::SelectVictim() {
   // Prefetched-but-untouched frames are speculative: evicting one costs a
   // possible future fault, evicting a demand-proven resident page costs a
-  // certain refault. Drain the prefetch FIFO (oldest first) before touching
-  // the clock. Entries are validated lazily — promotion and late-clearing
-  // leave stale page numbers behind rather than searching the deque.
-  size_t scan = prefetch_fifo_.size();
-  while (scan-- > 0 && !prefetch_fifo_.empty()) {
-    const uint64_t vpage = prefetch_fifo_.front();
-    prefetch_fifo_.pop_front();
-    const PageEntry& e = page_table_.entry(vpage);
-    if (!e.prefetched || e.state != PageState::kPresent) {
-      continue;  // Stale: promoted, evicted, or refetched since it was queued.
-    }
-    if (e.pins > 0) {
+  // certain refault. Drain the prefetch pool (oldest first) before touching
+  // the clock. The pool is purged eagerly on promotion/late/evict, so every
+  // entry is a live prefetched-resident page; only pins defer one.
+  size_t scan = prefetch_pool_.size();
+  while (scan-- > 0 && !prefetch_pool_.empty()) {
+    const uint64_t vpage = prefetch_pool_.front();
+    const PageInfo info = page_table_.Info(vpage);
+    ADIOS_DCHECK(info.prefetched && info.resident());
+    if (info.pins > 0) {
       // A waiter is about to touch it (mapped but not yet resumed); it will
-      // promote shortly. Keep it queued in case it never does.
-      prefetch_fifo_.push_back(vpage);
+      // promote shortly. Rotate it to the back in case it never does.
+      prefetch_pool_.splice(prefetch_pool_.end(), prefetch_pool_,
+                            prefetch_pool_.begin());
       continue;
     }
     return vpage;
   }
-  return page_table_.SelectVictim();
+  return page_table_.SelectVictim(options_.evict_scan_budget);
 }
 
 void MemoryManager::AddFetchWaiter(uint64_t vpage, FetchWaiter resume) {
@@ -97,9 +165,9 @@ void MemoryManager::AddFetchWaiter(uint64_t vpage, FetchWaiter resume) {
 
 void MemoryManager::CompleteFetch(uint64_t vpage) {
   page_table_.MarkPresent(vpage);
-  if (page_table_.entry(vpage).prefetched) {
+  if (page_table_.Info(vpage).prefetched) {
     // Joined the prefetch cache: first in line for eviction until touched.
-    prefetch_fifo_.push_back(vpage);
+    EnqueuePrefetchPool(vpage);
   }
   if (map_hook_) {
     map_hook_(vpage);  // Unpoison before any waiter can read the page.
@@ -117,10 +185,11 @@ void MemoryManager::CompleteFetch(uint64_t vpage) {
 
 void MemoryManager::AbortFetch(uint64_t vpage) {
   ADIOS_CHECK(StateOf(vpage) == PageState::kFetching);
-  if (page_table_.entry(vpage).prefetched) {
+  const PageInfo info = page_table_.Info(vpage);
+  if (info.prefetched) {
     // The speculation never landed; charge it as waste so the window shrinks.
     ++stats_.prefetch_wasted;
-    NotifyPrefetchOutcome(page_table_.entry(vpage).prefetch_owner, /*hit=*/false);
+    NotifyPrefetchOutcome(info.prefetch_owner, /*hit=*/false);
   }
   page_table_.MarkFetchAborted(vpage);
   ++stats_.fetch_aborts;
@@ -138,15 +207,16 @@ void MemoryManager::AbortFetch(uint64_t vpage) {
 }
 
 bool MemoryManager::EvictPage(uint64_t vpage) {
-  PageEntry& e = page_table_.entry(vpage);
-  ADIOS_CHECK(e.state == PageState::kPresent);
-  if (e.prefetched) {
+  const PageInfo info = page_table_.Info(vpage);
+  ADIOS_CHECK(info.resident());
+  if (info.prefetched) {
     // Evicted before any touch: the prefetch was wasted bandwidth and a
     // wasted frame; the owner's window shrinks.
     ++stats_.prefetch_wasted;
-    NotifyPrefetchOutcome(e.prefetch_owner, /*hit=*/false);
+    NotifyPrefetchOutcome(info.prefetch_owner, /*hit=*/false);
+    PurgePrefetchPool(vpage);
   }
-  const bool dirty = e.dirty;
+  const bool dirty = info.dirty;
   page_table_.MarkRemote(vpage);
   if (evict_hook_) {
     evict_hook_(vpage);

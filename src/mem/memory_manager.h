@@ -13,6 +13,13 @@
 // On READ completion the polling context calls CompleteFetch(p), which maps
 // the page and runs all registered waiter callbacks (each resumes one blocked
 // unithread). Frames are reserved at BeginFetch and released by eviction.
+//
+// The paging datapath is lock-free by construction (docs/DATAPATH.md):
+// page residency lives in per-page atomic state words, the free-frame budget
+// can split into per-worker credit caches, and the clock can shard its hand.
+// SyncGateNs() models the synchronization cost of the discipline in effect,
+// so bench_scalability can compare a serialized baseline (one global lock)
+// against the sharded-CAS design on identical workloads.
 
 #ifndef ADIOS_SRC_MEM_MEMORY_MANAGER_H_
 #define ADIOS_SRC_MEM_MEMORY_MANAGER_H_
@@ -20,18 +27,34 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <list>
 #include <unordered_map>
 #include <vector>
 
 #include "src/base/annotations.h"
 #include "src/mem/page_table.h"
 #include "src/sim/engine.h"
+#include "src/sim/trace.h"
 #include "src/sim/wait_queue.h"
 
 namespace adios {
 
+// Synchronization-cost model for the paging datapath (docs/DATAPATH.md).
+// The simulator's fibers cannot race, so the *cost* of the discipline is
+// modeled explicitly; bench_scalability uses kGlobalLock as the serialized
+// baseline the lock-free design is measured against.
+enum class MmSyncModel : uint8_t {
+  kNone = 0,        // No modeled synchronization cost (seed-identical).
+  kGlobalLock = 1,  // Every paging operation serializes through one lock.
+  kShardedCas = 2,  // Mutating operations pay one CAS; lookups stay free.
+};
+
 class MemoryManager {
  public:
+  // Frame reservations tagged with this owner (re-silver bounce frames)
+  // bypass the per-worker credit caches.
+  static constexpr uint16_t kNoFrameOwner = 0xFFFF;
+
   struct Options {
     uint64_t total_pages = 0;  // Size of the remote working set.
     uint64_t local_pages = 0;  // Compute-node DRAM cache capacity.
@@ -44,6 +67,21 @@ class MemoryManager {
     double reclaim_low_watermark = 0.15;
     // Reclamation stops once free frames exceed this fraction.
     double reclaim_high_watermark = 0.20;
+    // Clock shards for the ResidentPageSet (docs/DATAPATH.md). 0 keeps the
+    // legacy dense clock hand, bit-identical to the seed.
+    uint32_t clock_shards = 0;
+    // Per-worker free-frame credit cache size, refilled/spilled in batches
+    // from the shared pool. 0 disables the caches (seed-identical).
+    uint32_t frame_cache_size = 0;
+    // Bound on clock-hand slots scanned per SelectVictim() call; the scan
+    // returns a retry signal instead of sweeping the whole table. 0 keeps
+    // the legacy full sweep.
+    uint32_t evict_scan_budget = 0;
+    // Synchronization-cost model and its parameters (both in nanoseconds so
+    // they stay decoupled from the CPU clock).
+    MmSyncModel sync_model = MmSyncModel::kNone;
+    uint64_t sync_hold_ns = 0;  // kGlobalLock: lock hold per paging op.
+    uint64_t sync_cas_ns = 0;   // kShardedCas: cost per mutating op.
   };
 
   struct Stats {
@@ -60,6 +98,9 @@ class MemoryManager {
     uint64_t prefetch_hits = 0;    // Touched while resident and untouched.
     uint64_t prefetch_late = 0;    // Demand fault coalesced onto the in-flight prefetch.
     uint64_t prefetch_wasted = 0;  // Evicted (or aborted) before any touch.
+    // Free-frame credit-cache traffic (docs/DATAPATH.md).
+    uint64_t frame_refills = 0;    // Batches moved shared pool -> a cache.
+    uint64_t frame_spills = 0;     // Cache credits recalled to the shared pool.
   };
 
   MemoryManager(Engine* engine, const Options& options);
@@ -68,42 +109,78 @@ class MemoryManager {
   PageTable& page_table() { return page_table_; }
   Stats& stats() { return stats_; }
 
-  ADIOS_NO_SUSPEND PageState StateOf(uint64_t vpage) const { return page_table_.entry(vpage).state; }
+  // Records frame-credit refill events (kFrameRefill). Null disables.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
+  ADIOS_NO_SUSPEND PageState StateOf(uint64_t vpage) const {
+    return page_table_.StateOf(vpage);
+  }
 
   // Paging-granularity helpers (fetch size = one page).
   uint64_t page_bytes() const { return 1ull << options_.page_shift; }
   uint64_t PageOfAddr(RemoteAddr addr) const { return addr >> options_.page_shift; }
 
   // Fault-handling pins: a pinned page is never selected for eviction.
-  ADIOS_NO_SUSPEND void Pin(uint64_t vpage) { ++page_table_.entry(vpage).pins; }
-  ADIOS_NO_SUSPEND void Unpin(uint64_t vpage) {
-    PageEntry& e = page_table_.entry(vpage);
-    ADIOS_DCHECK(e.pins > 0);
-    --e.pins;
+  ADIOS_NO_SUSPEND void Pin(uint64_t vpage) { page_table_.Pin(vpage); }
+  ADIOS_NO_SUSPEND void Unpin(uint64_t vpage) { page_table_.Unpin(vpage); }
+
+  // Records an access to a resident page. The hot path — an already-
+  // referenced, non-prefetched page — is an optimistic read: one atomic
+  // load, zero stores (SetReferenced/SetDirty no-op without a CAS when the
+  // bits are already in the target state). The first touch of a prefetched
+  // page promotes it out of the prefetch cache and counts a prefetch hit.
+  ADIOS_NO_SUSPEND void Touch(uint64_t vpage, bool write) {
+    const PageInfo info = page_table_.Info(vpage);
+    ADIOS_DCHECK(info.resident());
+    if (info.prefetched) {
+      page_table_.ClearPrefetched(vpage);
+      PurgePrefetchPool(vpage);
+      ++stats_.prefetch_hits;
+      NotifyPrefetchOutcome(info.prefetch_owner, /*hit=*/true);
+    }
+    page_table_.SetReferenced(vpage);
+    if (write) {
+      page_table_.SetDirty(vpage);
+    }
   }
 
-  // Records an access to a resident page (reference/dirty bits). The first
-  // touch of a prefetched page promotes it out of the prefetch cache and
-  // counts a prefetch hit.
-  ADIOS_NO_SUSPEND void Touch(uint64_t vpage, bool write) {
-    PageEntry& e = page_table_.entry(vpage);
-    ADIOS_DCHECK(e.state == PageState::kPresent);
-    if (e.prefetched) {
-      const uint16_t owner = e.prefetch_owner;
-      page_table_.ClearPrefetched(vpage);
-      ++stats_.prefetch_hits;
-      NotifyPrefetchOutcome(owner, /*hit=*/true);
+  // Models the synchronization cost of the active discipline for one paging
+  // operation; returns nanoseconds the CALLER must consume before acting.
+  // Under kGlobalLock the op's slice of the single lock is reserved here,
+  // synchronously — so concurrent ops serialize in simulated time even
+  // though the fiber suspends only in the caller's Consume. Non-suspending.
+  ADIOS_NO_SUSPEND uint64_t SyncGateNs(bool mutating) {
+    switch (options_.sync_model) {
+      case MmSyncModel::kNone:
+        return 0;
+      case MmSyncModel::kGlobalLock: {
+        const uint64_t now = engine_->now();
+        const uint64_t start = lock_free_at_ > now ? lock_free_at_ : now;
+        lock_free_at_ = start + options_.sync_hold_ns;
+        return (start - now) + options_.sync_hold_ns;
+      }
+      case MmSyncModel::kShardedCas:
+        return mutating ? options_.sync_cas_ns : 0;
     }
-    e.referenced = true;
-    if (write) {
-      e.dirty = true;
-    }
+    return 0;
   }
 
   // --- Frame budget ---
 
+  // Free frames = shared pool + credits parked in per-worker caches; the
+  // watermarks and HasFreeFrame() see both, so credits idling in a cache
+  // never trigger reclamation or stall a fault spuriously.
   uint64_t free_frames() const { return options_.local_pages - used_frames_; }
   uint64_t used_frames() const { return used_frames_; }
+  uint64_t shared_free_frames() const {
+    return options_.local_pages - used_frames_ - cached_credits_;
+  }
+  uint64_t cached_frame_credits() const { return cached_credits_; }
+  uint32_t frame_cache_credits(uint16_t owner) const {
+    return owner < frame_cache_.size() ? frame_cache_[owner] : 0;
+  }
+  // Per-owner credit-cache view for the frame-conservation audit.
+  const std::vector<uint32_t>& frame_caches() const { return frame_cache_; }
   bool HasFreeFrame() const { return used_frames_ < options_.local_pages; }
   bool BelowLowWatermark() const {
     return static_cast<double>(free_frames()) <
@@ -140,7 +217,7 @@ class MemoryManager {
     if (!HasFreeFrame()) {
       return false;
     }
-    TakeFrame();
+    TakeFrame(kNoFrameOwner);
     return true;
   }
   void ReleaseBounceFrame() { ReleaseFrame(); }
@@ -148,8 +225,10 @@ class MemoryManager {
   // --- Fetch protocol ---
 
   // Reserves a frame and transitions kRemote -> kFetching. The caller must
-  // have checked HasFreeFrame(). Prefetch fetches enter the prefetch cache
-  // (tagged with the issuing worker for hit/waste feedback).
+  // have checked HasFreeFrame(). Prefetch fetches enter the prefetch cache;
+  // both demand and prefetch fetches are tagged with the issuing worker,
+  // which keys the free-frame credit cache (and, for prefetches, the
+  // hit/waste feedback route).
   ADIOS_NO_SUSPEND void BeginFetch(uint64_t vpage, bool prefetch = false,
                                    uint16_t owner = 0);
 
@@ -171,12 +250,12 @@ class MemoryManager {
 
   // True when `vpage` is an untouched prefetched page in the given state.
   bool IsPrefetchedInFlight(uint64_t vpage) const {
-    const PageEntry& e = page_table_.entry(vpage);
-    return e.prefetched && e.state == PageState::kFetching;
+    const PageInfo info = page_table_.Info(vpage);
+    return info.prefetched && info.state == PageWordState::kFetching;
   }
   bool IsPrefetchedResident(uint64_t vpage) const {
-    const PageEntry& e = page_table_.entry(vpage);
-    return e.prefetched && e.state == PageState::kPresent;
+    const PageInfo info = page_table_.Info(vpage);
+    return info.prefetched && info.resident();
   }
 
   // A demand fault landed on a prefetch still in flight: the fault coalesces
@@ -190,11 +269,18 @@ class MemoryManager {
   using PrefetchFeedback = std::function<void(bool hit)>;
   void set_prefetch_feedback(uint16_t owner, PrefetchFeedback fn);
 
+  // Current first-choice victim-pool population (test/diagnostic view; the
+  // pool is purged eagerly, so every entry is a live prefetched-resident
+  // page).
+  size_t prefetch_pool_size() const { return prefetch_pool_.size(); }
+
   // --- Eviction (driven by the reclaimer) ---
 
   // Victim selection: untouched prefetched-resident pages first (FIFO order
   // — the oldest unproven prefetch is the cheapest frame to reclaim), then
-  // the page table's clock. page_table().num_pages() when none evictable.
+  // the page table's clock, bounded by evict_scan_budget when set.
+  // page_table().num_pages() when none evictable within the budget (the
+  // caller backs off and retries).
   ADIOS_NO_SUSPEND uint64_t SelectVictim();
 
   // Unmaps `vpage`. Returns true when the page was dirty: the caller must
@@ -214,8 +300,17 @@ class MemoryManager {
   void set_map_hook(PageHook hook) { map_hook_ = std::move(hook); }
 
  private:
-  void TakeFrame();
+  void TakeFrame(uint16_t owner);
+  // Moves a batch of free-frame credits from the shared pool into `owner`'s
+  // cache (no-op when the pool is empty).
+  void RefillFrameCache(uint16_t owner);
+  // Recalls every cached credit to the shared pool — the slow path when a
+  // taker finds both its cache and the pool empty while credits idle in
+  // other caches.
+  void SpillFrameCaches();
   void NotifyPrefetchOutcome(uint16_t owner, bool hit);
+  void EnqueuePrefetchPool(uint64_t vpage);
+  void PurgePrefetchPool(uint64_t vpage);
 
   Engine* engine_;
   Options options_;
@@ -227,11 +322,21 @@ class MemoryManager {
   std::function<void()> reclaim_kick_;
   PageHook evict_hook_;
   PageHook map_hook_;
-  // FIFO of prefetched pages in map order: the eviction pool consulted
-  // before the clock. Entries go stale when a page is promoted or late-
-  // cleared; SelectVictim() validates lazily against the page table.
-  std::deque<uint64_t> prefetch_fifo_;
+  // First-choice victim pool: prefetched pages in map order. Purged eagerly
+  // on promotion/late/evict (list + index give O(1) FIFO pops, O(1) random
+  // erase, and iterator stability), so the pool cannot accumulate stale
+  // entries under a prefetch-heavy workload.
+  std::list<uint64_t> prefetch_pool_;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> prefetch_pool_index_;
   std::vector<PrefetchFeedback> prefetch_feedback_;  // Indexed by owner.
+  // Per-worker free-frame credit caches (indexed by owner) and the number of
+  // credits currently parked across all of them. Invariant: used_frames_ +
+  // shared_free_frames() + cached_credits_ == local_pages.
+  std::vector<uint32_t> frame_cache_;
+  uint64_t cached_credits_ = 0;
+  // kGlobalLock sync model: simulated time at which the one lock frees.
+  uint64_t lock_free_at_ = 0;
+  Tracer* tracer_ = nullptr;
   Stats stats_;
 };
 

@@ -1,0 +1,354 @@
+// Packed atomic page-state word (docs/DATAPATH.md).
+//
+// One 64-bit word per virtual page carries the full residency lattice plus
+// every per-page bit the paging datapath needs, vmcache-style:
+//
+//   bits  0-2   state     Remote / Fetching / Present / Marked / Evicting
+//   bit   3     dirty     write since map; eviction must write back
+//   bit   4     prefetched  untouched prefetch-cache member
+//   bits  5-14  pins      fault-handling pin count (10 bits)
+//   bits 15-24  owner     prefetch-issuing worker (valid while prefetched)
+//   bits 25-63  version   bumped by every successful transition
+//
+// All transitions are single CASes, so the word is safe under real concurrency
+// (the TSan hammer tests drive it from real threads) and, in the simulator,
+// safe across fiber suspension points by construction. The clock "referenced"
+// bit of the legacy PageEntry is folded into the state: kPresent is
+// resident+referenced, kMarked is resident+unreferenced (the eviction
+// candidate), so a hot read of an already-referenced page is a pure load —
+// no shared mutable state is touched.
+//
+// Ownership discipline: a successful TryLockForFetch (kRemote -> kFetching)
+// or TryMarkEvict (kMarked -> kEvicting) grants exclusive ownership of the
+// page until a matching release transition (map/abort, finish/cancel).
+// Holding either ownership across a may-suspend call is an adios-lint
+// suspend-safety finding.
+
+#ifndef ADIOS_SRC_MEM_PAGE_STATE_H_
+#define ADIOS_SRC_MEM_PAGE_STATE_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/base/check.h"
+
+namespace adios {
+
+enum class PageWordState : uint8_t {
+  kRemote = 0,    // Only the memory node has the page.
+  kFetching = 1,  // A one-sided READ is in flight; a frame is reserved.
+  kPresent = 2,   // Resident and referenced (clock second chance armed).
+  kMarked = 3,    // Resident, unreferenced: the clock's eviction candidate.
+  kEvicting = 4,  // Claimed by an evictor; unmap is imminent.
+};
+
+// Decoded snapshot of one page-state word.
+struct PageInfo {
+  PageWordState state = PageWordState::kRemote;
+  bool dirty = false;
+  bool prefetched = false;
+  uint16_t pins = 0;
+  uint16_t prefetch_owner = 0;
+  uint64_t version = 0;
+
+  bool resident() const {
+    return state == PageWordState::kPresent || state == PageWordState::kMarked ||
+           state == PageWordState::kEvicting;
+  }
+  // The legacy clock bit: resident pages earn it on touch, lose it to the
+  // clock hand's second chance.
+  bool referenced() const { return state == PageWordState::kPresent; }
+};
+
+class PageStateWord {
+ public:
+  static constexpr uint64_t kStateMask = 0x7;
+  static constexpr uint64_t kDirtyBit = 1ull << 3;
+  static constexpr uint64_t kPrefetchedBit = 1ull << 4;
+  static constexpr uint32_t kPinShift = 5;
+  static constexpr uint64_t kPinMask = 0x3FF;  // 10 bits; DCHECK on overflow.
+  static constexpr uint32_t kOwnerShift = 15;
+  static constexpr uint64_t kOwnerMask = 0x3FF;
+  static constexpr uint32_t kVersionShift = 25;
+
+  PageStateWord() : word_(0) {}
+
+  uint64_t raw() const { return word_.load(std::memory_order_acquire); }
+
+  static PageInfo Decode(uint64_t w) {
+    PageInfo info;
+    info.state = static_cast<PageWordState>(w & kStateMask);
+    info.dirty = (w & kDirtyBit) != 0;
+    info.prefetched = (w & kPrefetchedBit) != 0;
+    info.pins = static_cast<uint16_t>((w >> kPinShift) & kPinMask);
+    info.prefetch_owner = static_cast<uint16_t>((w >> kOwnerShift) & kOwnerMask);
+    info.version = w >> kVersionShift;
+    return info;
+  }
+
+  PageInfo Load() const { return Decode(raw()); }
+  PageWordState state() const {
+    return static_cast<PageWordState>(raw() & kStateMask);
+  }
+
+  // --- Fetch ownership ---
+
+  // kRemote -> kFetching: grants fetch ownership. The prefetched bit and
+  // owner tag are stamped here; dirty is cleared (the frame is fresh).
+  bool TryLockForFetch(bool prefetched, uint16_t owner) {
+    uint64_t w = word_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (static_cast<PageWordState>(w & kStateMask) != PageWordState::kRemote) {
+        return false;
+      }
+      uint64_t n = Rebuild(w, PageWordState::kFetching, /*dirty=*/false, prefetched,
+                           PinsOf(w), owner);
+      if (word_.compare_exchange_weak(w, n, std::memory_order_acq_rel)) {
+        return true;
+      }
+    }
+  }
+
+  // kFetching -> kPresent (demand) or kMarked (prefetched pages map cold:
+  // the reference bit is earned by the first demand touch). Releases fetch
+  // ownership.
+  bool TryMapPresent() {
+    uint64_t w = word_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (static_cast<PageWordState>(w & kStateMask) != PageWordState::kFetching) {
+        return false;
+      }
+      const PageWordState to = (w & kPrefetchedBit) != 0 ? PageWordState::kMarked
+                                                         : PageWordState::kPresent;
+      uint64_t n = Rebuild(w, to, /*dirty=*/false, (w & kPrefetchedBit) != 0,
+                           PinsOf(w), OwnerOf(w));
+      if (word_.compare_exchange_weak(w, n, std::memory_order_acq_rel)) {
+        return true;
+      }
+    }
+  }
+
+  // kFetching -> kRemote: the fetch was abandoned. Releases fetch ownership
+  // and drops the page out of the prefetch cache.
+  bool TryAbortFetch() {
+    uint64_t w = word_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (static_cast<PageWordState>(w & kStateMask) != PageWordState::kFetching) {
+        return false;
+      }
+      uint64_t n = Rebuild(w, PageWordState::kRemote, /*dirty=*/false,
+                           /*prefetched=*/false, PinsOf(w), 0);
+      if (word_.compare_exchange_weak(w, n, std::memory_order_acq_rel)) {
+        return true;
+      }
+    }
+  }
+
+  // --- Reference / dirty bits ---
+
+  // kMarked -> kPresent (a touch re-arms the second chance). Fails from any
+  // other state — callers treat kPresent as already satisfied, so the hot
+  // hit path performs no store at all.
+  bool TryReference() {
+    uint64_t w = word_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (static_cast<PageWordState>(w & kStateMask) != PageWordState::kMarked) {
+        return false;
+      }
+      uint64_t n = Rebuild(w, PageWordState::kPresent, (w & kDirtyBit) != 0,
+                           (w & kPrefetchedBit) != 0, PinsOf(w), OwnerOf(w));
+      if (word_.compare_exchange_weak(w, n, std::memory_order_acq_rel)) {
+        return true;
+      }
+    }
+  }
+
+  // kPresent -> kMarked: the clock hand's second chance.
+  bool TryUnreference() {
+    uint64_t w = word_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (static_cast<PageWordState>(w & kStateMask) != PageWordState::kPresent) {
+        return false;
+      }
+      uint64_t n = Rebuild(w, PageWordState::kMarked, (w & kDirtyBit) != 0,
+                           (w & kPrefetchedBit) != 0, PinsOf(w), OwnerOf(w));
+      if (word_.compare_exchange_weak(w, n, std::memory_order_acq_rel)) {
+        return true;
+      }
+    }
+  }
+
+  // Sets the dirty bit on a resident (non-evicting) page. Fails cleanly —
+  // with no store and no version bump — when already dirty, so repeated
+  // writes to a hot page stay load-only.
+  bool TrySetDirty() {
+    uint64_t w = word_.load(std::memory_order_relaxed);
+    for (;;) {
+      const auto s = static_cast<PageWordState>(w & kStateMask);
+      if ((s != PageWordState::kPresent && s != PageWordState::kMarked) ||
+          (w & kDirtyBit) != 0) {
+        return false;
+      }
+      uint64_t n = Rebuild(w, s, /*dirty=*/true, (w & kPrefetchedBit) != 0,
+                           PinsOf(w), OwnerOf(w));
+      if (word_.compare_exchange_weak(w, n, std::memory_order_acq_rel)) {
+        return true;
+      }
+    }
+  }
+
+  // --- Evict ownership ---
+
+  // kMarked with no pins -> kEvicting: the strict claim a concurrent clock
+  // scan uses (a pinned or re-referenced page must never be claimed).
+  bool TryMarkEvict() {
+    uint64_t w = word_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (static_cast<PageWordState>(w & kStateMask) != PageWordState::kMarked ||
+          PinsOf(w) != 0) {
+        return false;
+      }
+      uint64_t n = Rebuild(w, PageWordState::kEvicting, (w & kDirtyBit) != 0,
+                           (w & kPrefetchedBit) != 0, 0, OwnerOf(w));
+      if (word_.compare_exchange_weak(w, n, std::memory_order_acq_rel)) {
+        return true;
+      }
+    }
+  }
+
+  // Any resident state -> kEvicting, pins tolerated: the in-sim eviction
+  // path, which selected its victim unpinned but may observe a pin taken
+  // during the eviction-cost charge (the seed evicted through such pins and
+  // the re-silver pass depends on that tolerance).
+  bool TryClaimEvict() {
+    uint64_t w = word_.load(std::memory_order_relaxed);
+    for (;;) {
+      const auto s = static_cast<PageWordState>(w & kStateMask);
+      if (s != PageWordState::kPresent && s != PageWordState::kMarked) {
+        return false;
+      }
+      uint64_t n = Rebuild(w, PageWordState::kEvicting, (w & kDirtyBit) != 0,
+                           (w & kPrefetchedBit) != 0, PinsOf(w), OwnerOf(w));
+      if (word_.compare_exchange_weak(w, n, std::memory_order_acq_rel)) {
+        return true;
+      }
+    }
+  }
+
+  // kEvicting -> kRemote: the unmap commits. Releases evict ownership and
+  // clears dirty/prefetched (the frame's contents are gone).
+  bool FinishEvict() {
+    uint64_t w = word_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (static_cast<PageWordState>(w & kStateMask) != PageWordState::kEvicting) {
+        return false;
+      }
+      uint64_t n = Rebuild(w, PageWordState::kRemote, /*dirty=*/false,
+                           /*prefetched=*/false, PinsOf(w), 0);
+      if (word_.compare_exchange_weak(w, n, std::memory_order_acq_rel)) {
+        return true;
+      }
+    }
+  }
+
+  // kEvicting -> kMarked: the evictor backed off (e.g. a concurrent pin
+  // arrived between claim and unmap in a real-threaded deployment).
+  bool CancelEvict() {
+    uint64_t w = word_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (static_cast<PageWordState>(w & kStateMask) != PageWordState::kEvicting) {
+        return false;
+      }
+      uint64_t n = Rebuild(w, PageWordState::kMarked, (w & kDirtyBit) != 0,
+                           (w & kPrefetchedBit) != 0, PinsOf(w), OwnerOf(w));
+      if (word_.compare_exchange_weak(w, n, std::memory_order_acq_rel)) {
+        return true;
+      }
+    }
+  }
+
+  // --- Prefetch-cache bit ---
+
+  bool TryClearPrefetched() {
+    uint64_t w = word_.load(std::memory_order_relaxed);
+    for (;;) {
+      if ((w & kPrefetchedBit) == 0) {
+        return false;
+      }
+      uint64_t n = Rebuild(w, static_cast<PageWordState>(w & kStateMask),
+                           (w & kDirtyBit) != 0, /*prefetched=*/false, PinsOf(w),
+                           OwnerOf(w));
+      if (word_.compare_exchange_weak(w, n, std::memory_order_acq_rel)) {
+        return true;
+      }
+    }
+  }
+
+  // --- Pins ---
+
+  void Pin() {
+    uint64_t w = word_.load(std::memory_order_relaxed);
+    for (;;) {
+      ADIOS_DCHECK(PinsOf(w) < kPinMask);
+      uint64_t n = Rebuild(w, static_cast<PageWordState>(w & kStateMask),
+                           (w & kDirtyBit) != 0, (w & kPrefetchedBit) != 0,
+                           PinsOf(w) + 1, OwnerOf(w));
+      if (word_.compare_exchange_weak(w, n, std::memory_order_acq_rel)) {
+        return;
+      }
+    }
+  }
+
+  void Unpin() {
+    uint64_t w = word_.load(std::memory_order_relaxed);
+    for (;;) {
+      ADIOS_DCHECK(PinsOf(w) > 0);
+      uint64_t n = Rebuild(w, static_cast<PageWordState>(w & kStateMask),
+                           (w & kDirtyBit) != 0, (w & kPrefetchedBit) != 0,
+                           PinsOf(w) - 1, OwnerOf(w));
+      if (word_.compare_exchange_weak(w, n, std::memory_order_acq_rel)) {
+        return;
+      }
+    }
+  }
+
+  // Test-only corruption hook: stores the given state bits verbatim (version
+  // bumped, everything else preserved), bypassing the transition lattice.
+  void CorruptStateForTest(PageWordState s) {
+    uint64_t w = word_.load(std::memory_order_relaxed);
+    for (;;) {
+      uint64_t n = Rebuild(w, s, (w & kDirtyBit) != 0, (w & kPrefetchedBit) != 0,
+                           PinsOf(w), OwnerOf(w));
+      if (word_.compare_exchange_weak(w, n, std::memory_order_acq_rel)) {
+        return;
+      }
+    }
+  }
+
+ private:
+  static uint64_t PinsOf(uint64_t w) { return (w >> kPinShift) & kPinMask; }
+  static uint64_t OwnerOf(uint64_t w) { return (w >> kOwnerShift) & kOwnerMask; }
+
+  // Repacks every field, carrying the old word's version + 1. The version
+  // wraps after 2^39 transitions of one page — far beyond any run.
+  static uint64_t Rebuild(uint64_t old, PageWordState s, bool dirty, bool prefetched,
+                          uint64_t pins, uint64_t owner) {
+    uint64_t n = static_cast<uint64_t>(s);
+    if (dirty) {
+      n |= kDirtyBit;
+    }
+    if (prefetched) {
+      n |= kPrefetchedBit;
+    }
+    n |= (pins & kPinMask) << kPinShift;
+    n |= (owner & kOwnerMask) << kOwnerShift;
+    n |= ((old >> kVersionShift) + 1) << kVersionShift;
+    return n;
+  }
+
+  std::atomic<uint64_t> word_;
+};
+
+}  // namespace adios
+
+#endif  // ADIOS_SRC_MEM_PAGE_STATE_H_

@@ -220,6 +220,12 @@ void Reclaimer::Loop() {
         continue;
       }
       core_->Consume(options_.evict_cycles);
+      // Synchronization-cost gate (docs/DATAPATH.md): the unmap is a
+      // mutating paging op, so it pays the modeled lock/CAS cost.
+      const uint64_t sync_ns = mm_->SyncGateNs(/*mutating=*/true);
+      if (sync_ns > 0) {
+        core_->ConsumeNs(sync_ns);
+      }
       // adios-lint: ignore(suspend-safety) -- the Wait branches above always
       // `continue` and re-select; on this path `victim` is freshly selected,
       // and after EvictPage the single evictor keeps the frame reserved, so

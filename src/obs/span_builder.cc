@@ -218,6 +218,7 @@ class Folder {
       case TraceEvent::kScale:
       case TraceEvent::kScrubStart:
       case TraceEvent::kScrubDone:
+      case TraceEvent::kFrameRefill:
         Problem(rec, "system event with nonzero request id");
         break;
 

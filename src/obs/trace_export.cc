@@ -198,6 +198,10 @@ bool ExportChromeTrace(const Tracer& tracer, const SpanTimeline& timeline,
       case TraceEvent::kScrubDone:
         e.Instant(kDispatcherTid, rec.time, "scrub-done", rec.request_id, rec.arg, "finds");
         break;
+      case TraceEvent::kFrameRefill:
+        e.Instant(kDispatcherTid, rec.time, "frame-refill", rec.request_id, rec.arg,
+                  "credits");
+        break;
       default:
         break;  // Span boundaries are exported from the folded segments.
     }

@@ -446,7 +446,18 @@ void Worker::AccessPage(uint64_t vpage, bool write) {
       return;  // A fetch this request waited on was abandoned (retry budget).
     }
     switch (mm_->StateOf(vpage)) {
-      case PageState::kPresent:
+      case PageState::kPresent: {
+        // Synchronization-cost gate (docs/DATAPATH.md): free under kNone and
+        // for lock-free lookups under kShardedCas; under kGlobalLock even a
+        // hit serializes through the one lock. The charge is a suspension
+        // point, so the state is revalidated before acting on it.
+        const uint64_t sync_ns = mm_->SyncGateNs(/*mutating=*/false);
+        if (sync_ns > 0) {
+          core_->ConsumeNs(sync_ns);
+          if (mm_->StateOf(vpage) != PageState::kPresent) {
+            continue;  // The page moved while the lock was held/awaited.
+          }
+        }
         // MMU hit: free. The first touch of a prefetched page promotes it
         // out of the prefetch cache (Touch counts the hit) and extends the
         // stride detector's access trail — without this, full prefetch
@@ -460,10 +471,15 @@ void Worker::AccessPage(uint64_t vpage, bool write) {
         }
         mm_->Touch(vpage, write);
         return;
-      case PageState::kFetching:
+      }
+      case PageState::kFetching: {
         // Another handler's fetch is in flight; trap, then coalesce onto it
         // (unless it mapped while we were trapping).
         core_->Consume(cfg_.fault_entry_cycles);
+        const uint64_t sync_ns = mm_->SyncGateNs(/*mutating=*/true);
+        if (sync_ns > 0) {
+          core_->ConsumeNs(sync_ns);  // Waiter registration pays the gate.
+        }
         if (mm_->StateOf(vpage) == PageState::kFetching) {
           if (mm_->IsPrefetchedInFlight(vpage)) {
             // Demand beat the prefetched READ home: attach a waiter to the
@@ -479,10 +495,18 @@ void Worker::AccessPage(uint64_t vpage, bool write) {
           mm_->Unpin(vpage);
         }
         continue;
+      }
       case PageState::kRemote: {
         core_->Consume(cfg_.fault_entry_cycles + cfg_.kernel_fault_extra_cycles);
         if (mm_->StateOf(vpage) != PageState::kRemote) {
           continue;  // Raced with another fault during the trap.
+        }
+        const uint64_t sync_ns = mm_->SyncGateNs(/*mutating=*/true);
+        if (sync_ns > 0) {
+          core_->ConsumeNs(sync_ns);  // The page-table transition pays the gate.
+          if (mm_->StateOf(vpage) != PageState::kRemote) {
+            continue;
+          }
         }
         WaitForFreeFrame(vpage);
         if (mm_->StateOf(vpage) != PageState::kRemote) {
@@ -495,7 +519,9 @@ void Worker::AccessPage(uint64_t vpage, bool write) {
         if (!mm_->HasFreeFrame()) {
           continue;  // Another handler took the last frame during the charge.
         }
-        mm_->BeginFetch(vpage);  // No suspension between the checks and here.
+        // No suspension between the checks and here. The worker index tags
+        // the fetch as the owner key for the free-frame credit cache.
+        mm_->BeginFetch(vpage, /*prefetch=*/false, static_cast<uint16_t>(index_));
         ++running_->req->faults;
         if (tracer_ != nullptr) {
           tracer_->Record(engine_->now(), running_->req->id, TraceEvent::kFault,

@@ -58,6 +58,8 @@ const char* TraceEventName(TraceEvent ev) {
       return "scrub-start";
     case TraceEvent::kScrubDone:
       return "scrub-done";
+    case TraceEvent::kFrameRefill:
+      return "frame-refill";
   }
   return "?";
 }
@@ -110,6 +112,8 @@ void Tracer::PrintTimeline(uint64_t request_id, std::FILE* out) const {
       std::fprintf(out, " pass=%u", e.arg);
     } else if (e.event == TraceEvent::kScrubDone) {
       std::fprintf(out, " finds=%u", e.arg);
+    } else if (e.event == TraceEvent::kFrameRefill) {
+      std::fprintf(out, " credits=%u", e.arg);
     }
     std::fprintf(out, "\n");
     prev = e.time;

@@ -60,13 +60,16 @@ enum class TraceEvent : uint8_t {
   kCorrupt = 24,     // Checksum verification failed (arg = node).
   kScrubStart = 25,  // Background scrub pass opened (arg = pass number).
   kScrubDone = 26,   // Scrub pass closed (arg = corruptions found this pass).
+  // Free-frame credit batch moved from the shared pool into a worker cache
+  // (arg = credits moved; docs/DATAPATH.md). System-level.
+  kFrameRefill = 27,
 };
 
 const char* TraceEventName(TraceEvent ev);
 
 // One past the highest TraceEvent value (for exhaustive-name tests and
 // per-event tables).
-inline constexpr uint8_t kNumTraceEvents = 27;
+inline constexpr uint8_t kNumTraceEvents = 28;
 
 struct TraceRecord {
   SimTime time = 0;

@@ -38,3 +38,27 @@ void BadVictim() {
   DoSuspend();
   Use(victim);  // expect: suspend-safety
 }
+
+// Page-state-word lock discipline: Fetching/Evicting ownership taken by a
+// CAS acquirer must be resolved before any may-suspend call.
+struct PageStateWord {
+  bool TryLockForFetch(bool prefetched, unsigned owner);
+  bool TryMarkEvict();
+  bool TryMapPresent();
+  bool FinishEvict();
+};
+
+void BadFetchLockHeld(PageStateWord& w) {
+  if (!w.TryLockForFetch(false, 0)) {
+    return;
+  }
+  DoSuspend();  // expect: suspend-safety
+  w.TryMapPresent();
+}
+
+void BadEvictClaimHeldTransitive(PageStateWord& w) {
+  if (w.TryMarkEvict()) {
+    Helper();  // expect: suspend-safety
+    w.FinishEvict();
+  }
+}

@@ -39,3 +39,26 @@ void GoodRebind(PageTable& pt) {
   int s = e->state;
   (void)s;
 }
+
+// Page-state-word lock discipline: resolving the owned transition before
+// the suspension point is clean, as is acquiring after it.
+struct PageStateWord {
+  bool TryLockForFetch(bool prefetched, unsigned owner);
+  bool TryMarkEvict();
+  bool TryMapPresent();
+  bool FinishEvict();
+};
+
+void GoodReleaseBeforeSuspend(PageStateWord& w) {
+  if (w.TryLockForFetch(false, 0)) {
+    w.TryMapPresent();
+  }
+  DoSuspend();
+}
+
+void GoodAcquireAfterSuspend(PageStateWord& w) {
+  DoSuspend();
+  if (w.TryMarkEvict()) {
+    w.FinishEvict();
+  }
+}

@@ -164,7 +164,7 @@ TEST(InvariantChecker, PageTableCounterDriftIsCaught) {
   checker.Install();
 
   // Flip an entry without going through the counting transitions.
-  mm.page_table().entry(2).state = PageState::kPresent;
+  mm.page_table().CorruptStateForTest(2, PageState::kPresent);
   checker.AuditNow();
   EXPECT_GE(checker.report().violations, 1u);
 }

@@ -1,0 +1,231 @@
+#include "src/mem/page_state.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace adios {
+namespace {
+
+// Builds a word in the given lattice state through public transitions only
+// (non-prefetched preparation, so the prefetched bit stays clear).
+void PrepareState(PageStateWord& w, PageWordState s) {
+  switch (s) {
+    case PageWordState::kRemote:
+      break;
+    case PageWordState::kFetching:
+      ASSERT_TRUE(w.TryLockForFetch(/*prefetched=*/false, /*owner=*/0));
+      break;
+    case PageWordState::kPresent:
+      ASSERT_TRUE(w.TryLockForFetch(false, 0));
+      ASSERT_TRUE(w.TryMapPresent());
+      break;
+    case PageWordState::kMarked:
+      ASSERT_TRUE(w.TryLockForFetch(false, 0));
+      ASSERT_TRUE(w.TryMapPresent());
+      ASSERT_TRUE(w.TryUnreference());
+      break;
+    case PageWordState::kEvicting:
+      ASSERT_TRUE(w.TryLockForFetch(false, 0));
+      ASSERT_TRUE(w.TryMapPresent());
+      ASSERT_TRUE(w.TryUnreference());
+      ASSERT_TRUE(w.TryMarkEvict());
+      break;
+  }
+  ASSERT_EQ(w.state(), s);
+}
+
+struct Transition {
+  const char* name;
+  bool (*apply)(PageStateWord&);
+  // Expected success per source state, indexed Remote/Fetching/Present/
+  // Marked/Evicting, and the state a success must land in.
+  bool ok[5];
+  PageWordState to;
+};
+
+constexpr PageWordState R = PageWordState::kRemote;
+constexpr PageWordState F = PageWordState::kFetching;
+constexpr PageWordState P = PageWordState::kPresent;
+constexpr PageWordState M = PageWordState::kMarked;
+constexpr PageWordState E = PageWordState::kEvicting;
+
+// The full (state, attempted-transition) matrix: every pair either succeeds
+// with a version bump into the expected state, or fails cleanly leaving the
+// word bit-identical.
+const Transition kTransitions[] = {
+    {"TryLockForFetch", [](PageStateWord& w) { return w.TryLockForFetch(false, 1); },
+     {true, false, false, false, false}, F},
+    {"TryMapPresent", [](PageStateWord& w) { return w.TryMapPresent(); },
+     {false, true, false, false, false}, P},
+    {"TryAbortFetch", [](PageStateWord& w) { return w.TryAbortFetch(); },
+     {false, true, false, false, false}, R},
+    {"TryReference", [](PageStateWord& w) { return w.TryReference(); },
+     {false, false, false, true, false}, P},
+    {"TryUnreference", [](PageStateWord& w) { return w.TryUnreference(); },
+     {false, false, true, false, false}, M},
+    {"TrySetDirty", [](PageStateWord& w) { return w.TrySetDirty(); },
+     {false, false, true, true, false}, PageWordState::kRemote /*unused: keeps state*/},
+    {"TryMarkEvict", [](PageStateWord& w) { return w.TryMarkEvict(); },
+     {false, false, false, true, false}, E},
+    {"TryClaimEvict", [](PageStateWord& w) { return w.TryClaimEvict(); },
+     {false, false, true, true, false}, E},
+    {"FinishEvict", [](PageStateWord& w) { return w.FinishEvict(); },
+     {false, false, false, false, true}, R},
+    {"CancelEvict", [](PageStateWord& w) { return w.CancelEvict(); },
+     {false, false, false, false, true}, M},
+    {"TryClearPrefetched", [](PageStateWord& w) { return w.TryClearPrefetched(); },
+     {false, false, false, false, false}, R /*unused: bit is clear in prep*/},
+};
+
+TEST(PageStateWord, ExhaustiveTransitionTable) {
+  const PageWordState states[] = {R, F, P, M, E};
+  for (int si = 0; si < 5; ++si) {
+    for (const Transition& t : kTransitions) {
+      SCOPED_TRACE(std::string(t.name) + " from state " +
+                   std::to_string(static_cast<int>(states[si])));
+      PageStateWord w;
+      PrepareState(w, states[si]);
+      const uint64_t before_raw = w.raw();
+      const uint64_t before_version = w.Load().version;
+      const bool ok = t.apply(w);
+      EXPECT_EQ(ok, t.ok[si]);
+      if (ok) {
+        EXPECT_GT(w.Load().version, before_version);
+        if (std::string(t.name) == "TrySetDirty") {
+          EXPECT_EQ(w.state(), states[si]);  // Dirty keeps the state.
+          EXPECT_TRUE(w.Load().dirty);
+        } else {
+          EXPECT_EQ(w.state(), t.to);
+        }
+      } else {
+        // A clean failure: the word is bit-identical, version included.
+        EXPECT_EQ(w.raw(), before_raw);
+      }
+    }
+  }
+}
+
+TEST(PageStateWord, PrefetchedLifecycleCarriesOwner) {
+  PageStateWord w;
+  ASSERT_TRUE(w.TryLockForFetch(/*prefetched=*/true, /*owner=*/7));
+  PageInfo info = w.Load();
+  EXPECT_TRUE(info.prefetched);
+  EXPECT_EQ(info.prefetch_owner, 7);
+  // Prefetched pages map cold: kMarked, not kPresent.
+  ASSERT_TRUE(w.TryMapPresent());
+  info = w.Load();
+  EXPECT_EQ(info.state, PageWordState::kMarked);
+  EXPECT_TRUE(info.prefetched);
+  EXPECT_EQ(info.prefetch_owner, 7);
+  // Promotion clears the bit exactly once.
+  EXPECT_TRUE(w.TryClearPrefetched());
+  EXPECT_FALSE(w.TryClearPrefetched());
+  EXPECT_FALSE(w.Load().prefetched);
+  // Eviction of a prefetched page clears the bit too.
+  PageStateWord w2;
+  ASSERT_TRUE(w2.TryLockForFetch(true, 3));
+  ASSERT_TRUE(w2.TryMapPresent());
+  ASSERT_TRUE(w2.TryMarkEvict());
+  ASSERT_TRUE(w2.FinishEvict());
+  EXPECT_FALSE(w2.Load().prefetched);
+  EXPECT_EQ(w2.state(), PageWordState::kRemote);
+}
+
+TEST(PageStateWord, PinsBlockStrictEvictButNotClaim) {
+  PageStateWord w;
+  PrepareState(w, M);
+  w.Pin();
+  EXPECT_EQ(w.Load().pins, 1);
+  EXPECT_FALSE(w.TryMarkEvict());   // Strict claim respects pins.
+  EXPECT_TRUE(w.TryClaimEvict());   // The in-sim path tolerates them.
+  EXPECT_EQ(w.state(), PageWordState::kEvicting);
+  EXPECT_EQ(w.Load().pins, 1);      // Pins survive the claim.
+  ASSERT_TRUE(w.FinishEvict());
+  w.Unpin();
+  EXPECT_EQ(w.Load().pins, 0);
+}
+
+TEST(PageStateWord, DirtySetIsIdempotentWithoutVersionBump) {
+  PageStateWord w;
+  PrepareState(w, P);
+  ASSERT_TRUE(w.TrySetDirty());
+  const uint64_t raw = w.raw();
+  // Second set fails cleanly: no store, no version bump — the hot write
+  // path to an already-dirty page stays load-only.
+  EXPECT_FALSE(w.TrySetDirty());
+  EXPECT_EQ(w.raw(), raw);
+  // Unreference preserves dirty; remap clears it.
+  ASSERT_TRUE(w.TryUnreference());
+  EXPECT_TRUE(w.Load().dirty);
+  ASSERT_TRUE(w.TryMarkEvict());
+  ASSERT_TRUE(w.FinishEvict());
+  EXPECT_FALSE(w.Load().dirty);
+}
+
+TEST(PageStateWord, CancelEvictRestoresCandidate) {
+  PageStateWord w;
+  PrepareState(w, E);
+  ASSERT_TRUE(w.CancelEvict());
+  EXPECT_EQ(w.state(), PageWordState::kMarked);
+  // The page is a candidate again: a touch re-arms its second chance.
+  ASSERT_TRUE(w.TryReference());
+  EXPECT_EQ(w.state(), PageWordState::kPresent);
+}
+
+// Real-thread CAS race: exactly one of N contenders wins each exclusive
+// transition. Runs under the TSan leg for race coverage.
+TEST(PageStateWord, ConcurrentFetchLockHasOneWinner) {
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 200;
+  PageStateWord w;
+  for (int round = 0; round < kRounds; ++round) {
+    std::atomic<int> winners{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&w, &winners, t] {
+        if (w.TryLockForFetch(false, static_cast<uint16_t>(t))) {
+          winners.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (auto& th : threads) {
+      th.join();
+    }
+    ASSERT_EQ(winners.load(), 1);
+    ASSERT_EQ(w.state(), PageWordState::kFetching);
+    ASSERT_TRUE(w.TryAbortFetch());
+  }
+}
+
+TEST(PageStateWord, ConcurrentPinsBalance) {
+  constexpr int kThreads = 8;
+  constexpr int kPinsPerThread = 500;
+  PageStateWord w;
+  PrepareState(w, P);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&w] {
+      for (int i = 0; i < kPinsPerThread; ++i) {
+        w.Pin();
+        w.Unpin();
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  const PageInfo info = w.Load();
+  EXPECT_EQ(info.pins, 0);
+  EXPECT_EQ(info.state, PageWordState::kPresent);
+  EXPECT_GE(info.version, 2ull * kThreads * kPinsPerThread);
+}
+
+}  // namespace
+}  // namespace adios

@@ -1,0 +1,153 @@
+#include "src/mem/resident_set.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace adios {
+namespace {
+
+TEST(ResidentPageSet, InsertRemoveContains) {
+  ResidentPageSet set(256, /*shards=*/1);
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_FALSE(set.Contains(42));
+  set.Insert(42);
+  EXPECT_TRUE(set.Contains(42));
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_TRUE(set.Remove(42));
+  EXPECT_FALSE(set.Contains(42));
+  EXPECT_FALSE(set.Remove(42));
+  EXPECT_EQ(set.size(), 0u);
+}
+
+TEST(ResidentPageSet, CapacityIsPowerOfTwoAtHalfLoad) {
+  ResidentPageSet set(100, 1);
+  EXPECT_GE(set.capacity(), 200u);
+  EXPECT_EQ(set.capacity() & (set.capacity() - 1), 0u);
+}
+
+TEST(ResidentPageSet, ShardsDivideCapacity) {
+  ResidentPageSet set(1000, /*shards=*/8);
+  EXPECT_EQ(set.shards(), 8u);
+  EXPECT_EQ(set.shard_slots() * set.shards(), set.capacity());
+  // Shard count rounds down to a power of two.
+  ResidentPageSet odd(1000, 6);
+  EXPECT_EQ(odd.shards(), 4u);
+}
+
+TEST(ResidentPageSet, TombstonesAreReused) {
+  ResidentPageSet set(64, 1);
+  for (uint64_t round = 0; round < 10; ++round) {
+    for (uint64_t v = 0; v < 32; ++v) {
+      set.Insert(v);
+    }
+    for (uint64_t v = 0; v < 32; ++v) {
+      EXPECT_TRUE(set.Remove(v));
+    }
+  }
+  // 320 inserts through a 64-page set: only tombstone reuse makes this fit.
+  EXPECT_EQ(set.size(), 0u);
+  set.Insert(7);
+  EXPECT_TRUE(set.Contains(7));
+}
+
+TEST(ResidentPageSet, ScanShardVisitsOccupiedSlots) {
+  ResidentPageSet set(128, /*shards=*/2);
+  std::set<uint64_t> inserted;
+  for (uint64_t v = 0; v < 40; ++v) {
+    set.Insert(v);
+    inserted.insert(v);
+  }
+  // A full sweep over both shards sees every member exactly once.
+  std::set<uint64_t> seen;
+  for (uint32_t s = 0; s < set.shards(); ++s) {
+    set.ScanShard(s, set.shard_slots(), [&](uint64_t v) {
+      EXPECT_TRUE(inserted.count(v));
+      EXPECT_TRUE(seen.insert(v).second);
+      return false;
+    });
+  }
+  EXPECT_EQ(seen, inserted);
+}
+
+TEST(ResidentPageSet, ScanShardStopsWhenCallbackTakes) {
+  ResidentPageSet set(64, 1);
+  set.Insert(1);
+  set.Insert(2);
+  int visits = 0;
+  const bool stopped = set.ScanShard(0, set.shard_slots(), [&](uint64_t) {
+    ++visits;
+    return true;  // Take the first victim.
+  });
+  EXPECT_TRUE(stopped);
+  EXPECT_EQ(visits, 1);
+}
+
+TEST(ResidentPageSet, ScanShardRespectsBudget) {
+  ResidentPageSet set(64, 1);
+  for (uint64_t v = 0; v < 16; ++v) {
+    set.Insert(v);
+  }
+  int visits = 0;
+  const bool stopped = set.ScanShard(0, /*budget=*/3, [&](uint64_t) {
+    ++visits;
+    return false;
+  });
+  EXPECT_FALSE(stopped);
+  EXPECT_LE(visits, 3);
+}
+
+// Real-thread hammer over insert/remove/clock-scan: each thread owns a
+// disjoint key range (the map/evict protocol guarantees single-writer per
+// page), while every thread also drives a clock scan on its own shard.
+// Runs under the TSan leg for race coverage.
+TEST(ResidentPageSet, ConcurrentInsertRemoveClockHammer) {
+  constexpr int kThreads = 4;
+  constexpr uint64_t kKeysPerThread = 512;
+  constexpr int kRounds = 20;
+  ResidentPageSet set(kThreads * kKeysPerThread, /*shards=*/kThreads);
+  std::atomic<uint64_t> scanned_total{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&set, &scanned_total, t] {
+      const uint64_t base = static_cast<uint64_t>(t) * kKeysPerThread;
+      const uint32_t shard = static_cast<uint32_t>(t) % set.shards();
+      for (int round = 0; round < kRounds; ++round) {
+        for (uint64_t i = 0; i < kKeysPerThread; ++i) {
+          set.Insert(base + i);
+        }
+        uint64_t seen = 0;
+        set.ScanShard(shard, set.shard_slots(), [&](uint64_t) {
+          ++seen;
+          return false;
+        });
+        scanned_total.fetch_add(seen, std::memory_order_relaxed);
+        // Leave the last round's keys resident so the final state is known.
+        if (round + 1 == kRounds) {
+          break;
+        }
+        for (uint64_t i = 0; i < kKeysPerThread; ++i) {
+          ASSERT_TRUE(set.Remove(base + i));
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(set.size(), kThreads * kKeysPerThread);
+  for (uint64_t t = 0; t < kThreads; ++t) {
+    for (uint64_t i = 0; i < kKeysPerThread; ++i) {
+      EXPECT_TRUE(set.Contains(t * kKeysPerThread + i));
+    }
+  }
+  EXPECT_GT(scanned_total.load(), 0u);
+}
+
+}  // namespace
+}  // namespace adios

@@ -176,6 +176,59 @@ def _check_suspend_safety(fn, graph, findings):
         i += 1
 
 
+# Page-state-word lock discipline (src/mem/page_state.h): a successful
+# TryLockForFetch / TryMarkEvict / TryClaimEvict makes the caller the
+# exclusive owner of that page's Fetching/Evicting transition. Ownership must
+# be resolved (mapped, aborted, finished, or cancelled) before the function
+# reaches a suspension point — an owner parked on a fiber wedges every other
+# actor that CASes on the page. The runtime complement is the checker's
+# "evict claim held across a suspension point" audit; this is the static
+# half, so the bug is a lint finding before it is a sim hang.
+LOCK_ACQUIRERS = {
+    "TryLockForFetch": "Fetching",
+    "TryMarkEvict": "Evicting",
+    "TryClaimEvict": "Evicting",
+}
+
+# Calls that resolve the held transition: the word-level exits plus the
+# page-table/memory-manager wrappers that complete or unwind them.
+LOCK_RELEASERS = {
+    "TryMapPresent", "TryAbortFetch", "FinishEvict", "CancelEvict",
+    "MarkPresent", "MarkFetchAborted", "MarkRemote",
+    "CompleteFetch", "AbortFetch", "EvictPage",
+}
+
+
+def _check_lock_hold(fn, graph, findings):
+    tokens = fn.file.tokens
+    held = None  # (state-name, acquirer, acquire-line)
+    i = fn.body_start + 1
+    end = fn.body_end
+    while i < end:
+        t = tokens[i]
+        nxt = tokens[i + 1].text if i + 1 < end else ""
+        if t.kind != "id" or nxt != "(":
+            i += 1
+            continue
+        if t.text in LOCK_ACQUIRERS:
+            held = (LOCK_ACQUIRERS[t.text], t.text, t.line)
+        elif t.text in LOCK_RELEASERS:
+            held = None
+        elif t.text not in cpp_index.CONTROL_KEYWORDS and \
+                graph.is_suspending_name(t.text):
+            if held is not None:
+                state, acq, aline = held
+                if not is_suppressed(fn.file, t.line, RULE_SUSPEND):
+                    findings.append(Finding(
+                        fn.file.path, t.line, RULE_SUSPEND,
+                        f"page-state {state} ownership taken by '{acq}' "
+                        f"(line {aline}) is held across may-suspend call "
+                        f"'{t.text}': complete or abort the transition "
+                        f"before suspending"))
+                held = None  # One report per acquisition.
+        i += 1
+
+
 def _check_no_suspend_annotations(graph, findings):
     for fn in graph.no_suspend_violations():
         callee, line = fn.taint_path
@@ -401,6 +454,7 @@ def run_rules(indexes, graph, root, docs_text, enabled=None):
                 continue
             if RULE_SUSPEND in enabled:
                 _check_suspend_safety(fn, graph, findings)
+                _check_lock_hold(fn, graph, findings)
             if RULE_TRACE in enabled:
                 _check_trace_pairing(fn, pairs, findings)
     if RULE_SUSPEND in enabled:
